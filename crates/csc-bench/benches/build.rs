@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 9: index construction time, HP-SPC vs CSC.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csc_bench::datasets::{by_code, generate};
+use csc_core::{CscConfig, CscIndex};
+use csc_graph::OrderingStrategy;
+use csc_labeling::HpSpcIndex;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_build");
+    group.sample_size(10);
+    for code in ["G04", "EME", "WKT"] {
+        let spec = by_code(code).expect("dataset exists");
+        // Small scale keeps criterion's repeated builds tractable.
+        let g = generate(spec, 0.08, 42);
+        group.bench_with_input(BenchmarkId::new("hpspc", code), &g, |b, g| {
+            b.iter(|| HpSpcIndex::build(g, OrderingStrategy::Degree).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("csc", code), &g, |b, g| {
+            b.iter(|| CscIndex::build(g, CscConfig::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion bench for Figure 10: per-query latency by degree cluster,
+//! BFS vs HP-SPC vs CSC.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csc_bench::datasets::{by_code, generate};
+use csc_core::{CscConfig, CscIndex};
+use csc_graph::properties::{degree_clusters, DegreeCluster};
+use csc_graph::{OrderingStrategy, VertexId};
+use csc_labeling::{scc_baseline, BfsCycleEngine, HpSpcIndex};
+
+fn cluster_sample(
+    g: &csc_graph::DiGraph,
+    cluster: DegreeCluster,
+    take: usize,
+) -> Vec<VertexId> {
+    let clusters = degree_clusters(g);
+    g.vertices()
+        .filter(|v| clusters[v.index()] == cluster)
+        .take(take)
+        .collect()
+}
+
+fn bench_query(c: &mut Criterion) {
+    let spec = by_code("G04").expect("dataset exists");
+    let g = generate(spec, 0.3, 42);
+    let hp = HpSpcIndex::build(&g, OrderingStrategy::Degree).unwrap();
+    let csc = CscIndex::build(&g, CscConfig::default()).unwrap();
+
+    let mut group = c.benchmark_group("fig10_query");
+    for cluster in [DegreeCluster::High, DegreeCluster::Bottom] {
+        let vs = cluster_sample(&g, cluster, 64);
+        if vs.is_empty() {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::new("csc", cluster.name()),
+            &vs,
+            |b, vs| {
+                let mut i = 0;
+                b.iter(|| {
+                    let v = vs[i % vs.len()];
+                    i += 1;
+                    csc.query(v)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hpspc", cluster.name()),
+            &vs,
+            |b, vs| {
+                let mut i = 0;
+                b.iter(|| {
+                    let v = vs[i % vs.len()];
+                    i += 1;
+                    scc_baseline::scc_count(&hp, &g, v)
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("bfs", cluster.name()), &vs, |b, vs| {
+            let mut engine = BfsCycleEngine::new(g.vertex_count());
+            let mut i = 0;
+            b.iter(|| {
+                let v = vs[i % vs.len()];
+                i += 1;
+                engine.query(&g, v)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

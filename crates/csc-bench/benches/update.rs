@@ -1,0 +1,63 @@
+//! Criterion bench for Figures 11 and 12: incremental insertion under both
+//! update strategies, and decremental deletion.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use csc_bench::datasets::{by_code, generate};
+use csc_bench::experiments::fig11::hold_out_edges;
+use csc_core::{CscConfig, CscIndex, UpdateStrategy};
+use csc_graph::VertexId;
+
+fn bench_insert(c: &mut Criterion) {
+    let spec = by_code("G04").expect("dataset exists");
+    let g = generate(spec, 0.15, 42);
+    let (reduced, edges) = hold_out_edges(&g, 64, 7);
+
+    let mut group = c.benchmark_group("fig11_insert");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("redundancy", UpdateStrategy::Redundancy),
+        ("minimality", UpdateStrategy::Minimality),
+    ] {
+        let config = CscConfig::default().with_update_strategy(strategy);
+        let base = CscIndex::build(&reduced, config).unwrap();
+        group.bench_with_input(BenchmarkId::new(name, "batch64"), &edges, |b, edges| {
+            b.iter_batched(
+                || base.clone(),
+                |mut index| {
+                    for &(u, v) in edges {
+                        index.insert_edge(VertexId(u), VertexId(v)).unwrap();
+                    }
+                    index
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_delete(c: &mut Criterion) {
+    let spec = by_code("G04").expect("dataset exists");
+    let g = generate(spec, 0.15, 42);
+    let base = CscIndex::build(&g, CscConfig::default()).unwrap();
+    let victims: Vec<(u32, u32)> = g.edge_vec().into_iter().step_by(97).take(8).collect();
+
+    let mut group = c.benchmark_group("fig12_delete");
+    group.sample_size(10);
+    group.bench_function("batch8", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut index| {
+                for &(u, v) in &victims {
+                    index.remove_edge(VertexId(u), VertexId(v)).unwrap();
+                }
+                index
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_delete);
+criterion_main!(benches);

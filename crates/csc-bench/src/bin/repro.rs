@@ -1,0 +1,111 @@
+//! `repro` — regenerates the CSC paper's tables and figures.
+//!
+//! ```text
+//! repro [OPTIONS] <COMMAND>
+//!
+//! Commands:
+//!   table4       Table IV  — dataset statistics
+//!   fig9         Figure 9  — index construction time and size
+//!   fig10        Figure 10 — query time by degree cluster
+//!   fig11        Figure 11 — incremental update time and index growth
+//!   fig12        Figure 12 — decremental updates by edge degree
+//!   case-study   Figure 13 — fraud-screening case study
+//!   throughput   Extension — concurrent read throughput
+//!   all          Everything above, in order
+//!
+//! Options:
+//!   --scale <f64>    dataset size multiplier (default 1.0)
+//!   --seed <u64>     RNG seed (default 42)
+//!   --quick          smaller samples; skips the slowest combinations
+//!   --datasets <a,b> restrict to these dataset codes (e.g. G04,WKT)
+//!   --out <dir>      also write each table as CSV into <dir>
+//! ```
+
+use csc_bench::experiments::{
+    ablation, case_study, fig10, fig11, fig12, fig9, table4, throughput, ExpContext,
+};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--scale F] [--seed N] [--quick] [--datasets A,B] [--out DIR] \
+         <table4|fig9|fig10|fig11|fig12|case-study|throughput|ablation|all>"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ctx = ExpContext::default();
+    let mut command: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                ctx.scale = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --scale value: {v}");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                ctx.seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --seed value: {v}");
+                    std::process::exit(2);
+                });
+            }
+            "--quick" => ctx.quick = true,
+            "--datasets" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                let codes: Vec<&str> = v.split(',').collect();
+                ctx = ctx.with_datasets(&codes);
+            }
+            "--out" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                ctx.out_dir = Some(v.into());
+            }
+            "--help" | "-h" => usage(),
+            cmd if command.is_none() && !cmd.starts_with('-') => {
+                command = Some(cmd.to_string());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    let Some(command) = command else { usage() };
+    let run_one = |name: &str, ctx: &ExpContext| -> bool {
+        match name {
+            "table4" => println!("{}", table4::run(ctx)),
+            "fig9" => println!("{}", fig9::run(ctx)),
+            "fig10" => println!("{}", fig10::run(ctx)),
+            "fig11" => println!("{}", fig11::run(ctx)),
+            "fig12" => println!("{}", fig12::run(ctx)),
+            "case-study" | "case_study" | "fig13" => println!("{}", case_study::run(ctx)),
+            "throughput" => println!("{}", throughput::run(ctx)),
+            "ablation" => println!("{}", ablation::run(ctx)),
+            _ => return false,
+        }
+        true
+    };
+
+    if command == "all" {
+        for name in [
+            "table4", "fig9", "fig10", "fig11", "fig12", "case-study", "throughput",
+            "ablation",
+        ] {
+            eprintln!("==> {name}");
+            run_one(name, &ctx);
+        }
+        ExitCode::SUCCESS
+    } else if run_one(&command, &ctx) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("unknown command: {command}");
+        usage()
+    }
+}

@@ -1,0 +1,113 @@
+//! Figure 9: index construction time (a) and index size (b), HP-SPC vs CSC.
+//!
+//! The paper's headline here: CSC's bipartite conversion doubles the vertex
+//! count, yet couple-vertex skipping keeps both construction time and index
+//! size within a few percent of HP-SPC's.
+
+use super::ExpContext;
+use crate::datasets::generate;
+use crate::measure::{fmt_bytes, fmt_duration, time_it};
+use crate::table::Table;
+use csc_core::{CscConfig, CscIndex};
+use csc_labeling::HpSpcIndex;
+use csc_graph::OrderingStrategy;
+
+/// One dataset's measurements.
+#[derive(Clone, Debug)]
+pub struct Fig9Row {
+    /// Dataset code.
+    pub code: String,
+    /// HP-SPC construction time.
+    pub hpspc_time: std::time::Duration,
+    /// CSC construction time.
+    pub csc_time: std::time::Duration,
+    /// HP-SPC index bytes (8 per entry).
+    pub hpspc_bytes: usize,
+    /// CSC index bytes after the Section IV-E couple reduction — this is
+    /// the size the paper reports (each couple's shifted label copy is
+    /// stored once), and what makes Figure 9(b) come out near parity.
+    pub csc_bytes: usize,
+    /// CSC index bytes without the reduction (both couple copies held in
+    /// memory for dynamic maintenance).
+    pub csc_unreduced_bytes: usize,
+}
+
+/// Runs the measurements, returning rows for programmatic use.
+pub fn measure(ctx: &ExpContext) -> Vec<Fig9Row> {
+    let mut rows = Vec::new();
+    for spec in &ctx.datasets {
+        let g = generate(spec, ctx.scale, ctx.seed);
+        let (hp, hp_t) =
+            time_it(|| HpSpcIndex::build(&g, OrderingStrategy::Degree).expect("hp-spc build"));
+        let (csc, csc_t) =
+            time_it(|| CscIndex::build(&g, CscConfig::default()).expect("csc build"));
+        let reduction = csc_core::reduction::analyze(&csc);
+        rows.push(Fig9Row {
+            code: spec.code.to_string(),
+            hpspc_time: hp_t,
+            csc_time: csc_t,
+            hpspc_bytes: hp.total_entries() * 8,
+            csc_bytes: reduction.reduced_entries * 8,
+            csc_unreduced_bytes: csc.index_bytes(),
+        });
+    }
+    rows
+}
+
+/// Runs the experiment and returns the rendered report.
+pub fn run(ctx: &ExpContext) -> String {
+    let rows = measure(ctx);
+    let mut table = Table::new([
+        "Graph", "HP-SPC time", "CSC time", "time ratio", "HP-SPC size",
+        "CSC size (reduced)", "size ratio", "CSC unreduced",
+    ]);
+    for r in &rows {
+        let t_ratio = r.csc_time.as_secs_f64() / r.hpspc_time.as_secs_f64().max(1e-9);
+        let s_ratio = r.csc_bytes as f64 / r.hpspc_bytes.max(1) as f64;
+        table.row([
+            r.code.clone(),
+            fmt_duration(r.hpspc_time),
+            fmt_duration(r.csc_time),
+            format!("{t_ratio:.2}x"),
+            fmt_bytes(r.hpspc_bytes),
+            fmt_bytes(r.csc_bytes),
+            format!("{s_ratio:.2}x"),
+            fmt_bytes(r.csc_unreduced_bytes),
+        ]);
+    }
+    ctx.save_csv("fig9", &table);
+    format!(
+        "Figure 9 — index construction time and size (HP-SPC vs CSC):\n\n{}\n\
+         Paper expectation: ratios stay near 1 (CSC within ~8% on time, ~4% on \
+         size); the size parity relies on the Section IV-E couple reduction, \
+         whose unreduced counterpart is shown for reference.\n",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_both_builders() {
+        let ctx = ExpContext::smoke();
+        let rows = measure(&ctx);
+        assert_eq!(rows.len(), ctx.datasets.len());
+        for r in &rows {
+            assert!(r.hpspc_bytes > 0);
+            assert!(r.csc_bytes > 0);
+            // CSC and HP-SPC index sizes stay in the same ballpark — the
+            // paper's central claim for Figure 9(b). Allow generous slack
+            // at smoke scale.
+            let ratio = r.csc_bytes as f64 / r.hpspc_bytes as f64;
+            assert!(
+                (0.4..3.0).contains(&ratio),
+                "{}: unexpected size ratio {ratio:.2}",
+                r.code
+            );
+        }
+        let report = run(&ctx);
+        assert!(report.contains("Figure 9"));
+    }
+}

@@ -1,0 +1,116 @@
+//! The experiment implementations, one module per paper artifact.
+
+pub mod ablation;
+pub mod case_study;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig9;
+pub mod table4;
+pub mod throughput;
+
+use crate::datasets::{DatasetSpec, DATASETS};
+use crate::table::Table;
+use std::path::PathBuf;
+
+/// Shared experiment configuration.
+#[derive(Clone, Debug)]
+pub struct ExpContext {
+    /// Dataset size multiplier (1.0 = laptop defaults; see `datasets`).
+    pub scale: f64,
+    /// Root seed for every generator and sampler.
+    pub seed: u64,
+    /// Quick mode trims per-cluster query counts and skips the slowest
+    /// strategy/dataset combinations, mirroring the paper's own omissions
+    /// (minimality is skipped for its two largest graphs).
+    pub quick: bool,
+    /// Datasets to run on (defaults to all nine).
+    pub datasets: Vec<&'static DatasetSpec>,
+    /// Directory for CSV archives (`None` = stdout only).
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for ExpContext {
+    fn default() -> Self {
+        ExpContext {
+            scale: 1.0,
+            seed: 42,
+            quick: false,
+            datasets: DATASETS.iter().collect(),
+            out_dir: None,
+        }
+    }
+}
+
+impl ExpContext {
+    /// A configuration sized for CI / smoke tests.
+    pub fn smoke() -> Self {
+        ExpContext {
+            scale: 0.05,
+            quick: true,
+            datasets: DATASETS.iter().take(3).collect(),
+            ..Default::default()
+        }
+    }
+
+    /// Restricts the run to the named dataset codes (unknown codes are
+    /// ignored).
+    pub fn with_datasets(mut self, codes: &[&str]) -> Self {
+        let selected: Vec<_> = DATASETS
+            .iter()
+            .filter(|d| codes.iter().any(|c| c.eq_ignore_ascii_case(d.code)))
+            .collect();
+        if !selected.is_empty() {
+            self.datasets = selected;
+        }
+        self
+    }
+
+    /// Archives a table as CSV under the output directory, if configured.
+    pub fn save_csv(&self, name: &str, table: &Table) {
+        if let Some(dir) = &self.out_dir {
+            if std::fs::create_dir_all(dir).is_ok() {
+                let path = dir.join(format!("{name}.csv"));
+                if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_context_covers_all_datasets() {
+        let ctx = ExpContext::default();
+        assert_eq!(ctx.datasets.len(), 9);
+        assert!(!ctx.quick);
+    }
+
+    #[test]
+    fn dataset_filter() {
+        let ctx = ExpContext::default().with_datasets(&["g04", "WSR"]);
+        assert_eq!(ctx.datasets.len(), 2);
+        // Unknown codes leave the selection untouched.
+        let ctx = ExpContext::default().with_datasets(&["nope"]);
+        assert_eq!(ctx.datasets.len(), 9);
+    }
+
+    #[test]
+    fn csv_archival() {
+        let dir = std::env::temp_dir().join("csc-bench-test-out");
+        let ctx = ExpContext {
+            out_dir: Some(dir.clone()),
+            ..ExpContext::smoke()
+        };
+        let mut t = Table::new(["a"]);
+        t.row(["1"]);
+        ctx.save_csv("unit", &t);
+        let written = std::fs::read_to_string(dir.join("unit.csv")).unwrap();
+        assert!(written.contains("a"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,105 @@
+//! Extension experiment: concurrent read throughput.
+//!
+//! Not in the paper, but implied by its motivating scenarios (continuous
+//! monitoring): how many `SCCnt` queries per second does the index sustain
+//! as reader threads are added, with `ConcurrentIndex` guarding a live
+//! index? Queries take a shared lock, so throughput should scale close to
+//! linearly until memory bandwidth saturates.
+
+use super::ExpContext;
+use crate::datasets::{by_code, generate};
+use crate::table::Table;
+use csc_core::{ConcurrentIndex, CscConfig, CscIndex};
+use csc_graph::VertexId;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Queries/second at a given thread count.
+#[derive(Clone, Copy, Debug)]
+pub struct ThroughputPoint {
+    /// Reader threads.
+    pub threads: usize,
+    /// Total queries answered.
+    pub queries: usize,
+    /// Aggregate queries per second.
+    pub qps: f64,
+}
+
+/// Measures aggregate query throughput at each thread count.
+pub fn measure(ctx: &ExpContext, thread_counts: &[usize]) -> Vec<ThroughputPoint> {
+    let spec = by_code("G30").expect("G30 exists");
+    let g = generate(spec, ctx.scale, ctx.seed);
+    let n = g.vertex_count() as u32;
+    let index = ConcurrentIndex::new(CscIndex::build(&g, CscConfig::default()).expect("build"));
+    let per_thread = if ctx.quick { 20_000 } else { 200_000 };
+
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            let answered = AtomicUsize::new(0);
+            let start = Instant::now();
+            crossbeam::scope(|scope| {
+                for t in 0..threads {
+                    let index = &index;
+                    let answered = &answered;
+                    scope.spawn(move |_| {
+                        let mut local = 0usize;
+                        let mut x = (t as u32).wrapping_mul(2654435761).wrapping_add(1);
+                        for _ in 0..per_thread {
+                            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                            let v = VertexId(x % n.max(1));
+                            if index.query(v).is_some() {
+                                local += 1;
+                            }
+                        }
+                        answered.fetch_add(local, Ordering::Relaxed);
+                    });
+                }
+            })
+            .expect("reader threads join");
+            let elapsed = start.elapsed().as_secs_f64();
+            let queries = threads * per_thread;
+            ThroughputPoint {
+                threads,
+                queries,
+                qps: queries as f64 / elapsed.max(1e-9),
+            }
+        })
+        .collect()
+}
+
+/// Runs the experiment and returns the rendered report.
+pub fn run(ctx: &ExpContext) -> String {
+    let points = measure(ctx, &[1, 2, 4, 8]);
+    let mut table = Table::new(["threads", "queries", "throughput (q/s)"]);
+    for p in &points {
+        table.row([
+            p.threads.to_string(),
+            p.queries.to_string(),
+            format!("{:.0}", p.qps),
+        ]);
+    }
+    ctx.save_csv("throughput", &table);
+    format!(
+        "Extension — concurrent read throughput (G30 analog, ConcurrentIndex):\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_scales_and_counts() {
+        let ctx = ExpContext {
+            scale: 0.05,
+            quick: true,
+            ..ExpContext::smoke()
+        };
+        let points = measure(&ctx, &[1, 2]);
+        assert_eq!(points.len(), 2);
+        assert!(points[0].qps > 0.0);
+        assert_eq!(points[1].queries, 2 * points[0].queries);
+    }
+}

@@ -1,0 +1,228 @@
+//! Graph-level analytics over the index: batch updates, vertex retirement,
+//! girth, and the top-k screening primitive behind the fraud case study.
+
+use crate::error::CscError;
+use crate::index::CscIndex;
+use crate::stats::UpdateReport;
+use csc_graph::VertexId;
+use csc_labeling::CycleCount;
+
+/// A vertex together with its shortest-cycle profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VertexCycles {
+    /// The vertex.
+    pub vertex: VertexId,
+    /// Its shortest-cycle length and count.
+    pub cycles: CycleCount,
+}
+
+impl CscIndex {
+    /// Inserts a batch of edges, aggregating the per-edge reports.
+    ///
+    /// Stops at the first error (earlier edges stay applied — the index
+    /// remains consistent, mirroring a partially applied stream).
+    pub fn insert_edges(
+        &mut self,
+        edges: impl IntoIterator<Item = (VertexId, VertexId)>,
+    ) -> Result<UpdateReport, CscError> {
+        let mut total = UpdateReport::default();
+        for (a, b) in edges {
+            let r = self.insert_edge(a, b)?;
+            total.entries_inserted += r.entries_inserted;
+            total.entries_updated += r.entries_updated;
+            total.entries_removed += r.entries_removed;
+            total.affected_hubs += r.affected_hubs;
+            total.vertices_visited += r.vertices_visited;
+            total.duration += r.duration;
+        }
+        Ok(total)
+    }
+
+    /// Removes a batch of edges, aggregating the per-edge reports.
+    pub fn remove_edges(
+        &mut self,
+        edges: impl IntoIterator<Item = (VertexId, VertexId)>,
+    ) -> Result<UpdateReport, CscError> {
+        let mut total = UpdateReport::default();
+        for (a, b) in edges {
+            let r = self.remove_edge(a, b)?;
+            total.entries_inserted += r.entries_inserted;
+            total.entries_updated += r.entries_updated;
+            total.entries_removed += r.entries_removed;
+            total.affected_hubs += r.affected_hubs;
+            total.vertices_visited += r.vertices_visited;
+            total.duration += r.duration;
+        }
+        Ok(total)
+    }
+
+    /// Retires a vertex by removing all of its incident edges (the paper's
+    /// reduction of vertex deletion to edge deletions, Section II-A). The
+    /// vertex id remains valid but isolated; its queries return `None`.
+    pub fn retire_vertex(&mut self, v: VertexId) -> Result<UpdateReport, CscError> {
+        self.check_ready()?;
+        let n = self.original_vertex_count();
+        if v.index() >= n {
+            return Err(csc_graph::GraphError::VertexOutOfRange { vertex: v, n }.into());
+        }
+        let g = self.original_graph();
+        let out: Vec<_> = g.nbr_out(v).iter().map(|&w| (v, VertexId(w))).collect();
+        let inn: Vec<_> = g.nbr_in(v).iter().map(|&u| (VertexId(u), v)).collect();
+        let mut report = self.remove_edges(out)?;
+        let r2 = self.remove_edges(inn)?;
+        report.entries_inserted += r2.entries_inserted;
+        report.entries_updated += r2.entries_updated;
+        report.entries_removed += r2.entries_removed;
+        report.affected_hubs += r2.affected_hubs;
+        report.vertices_visited += r2.vertices_visited;
+        report.duration += r2.duration;
+        Ok(report)
+    }
+
+    /// The girth of the indexed graph — the globally shortest cycle length
+    /// — together with the total number of shortest-cycle *incidences*
+    /// (vertices realizing it). `None` for acyclic graphs.
+    ///
+    /// One index query per vertex: `O(n)` label intersections.
+    pub fn girth(&self) -> Option<(u32, usize)> {
+        let mut best: Option<(u32, usize)> = None;
+        for v in 0..self.original_vertex_count() as u32 {
+            if let Some(c) = self.query(VertexId(v)) {
+                best = Some(match best {
+                    None => (c.length, 1),
+                    Some((b, _)) if c.length < b => (c.length, 1),
+                    Some((b, k)) if c.length == b => (b, k + 1),
+                    Some(keep) => keep,
+                });
+            }
+        }
+        best
+    }
+
+    /// The `k` most cycle-laden vertices among those whose shortest cycle
+    /// is at most `max_length` — the screening primitive of the fraud case
+    /// study (count descending, then length ascending, then id).
+    pub fn top_k_by_cycle_count(&self, k: usize, max_length: u32) -> Vec<VertexCycles> {
+        let mut all: Vec<VertexCycles> = (0..self.original_vertex_count() as u32)
+            .filter_map(|v| {
+                let v = VertexId(v);
+                self.query(v).map(|cycles| VertexCycles { vertex: v, cycles })
+            })
+            .filter(|vc| vc.cycles.length <= max_length)
+            .collect();
+        all.sort_by(|a, b| {
+            b.cycles
+                .count
+                .cmp(&a.cycles.count)
+                .then(a.cycles.length.cmp(&b.cycles.length))
+                .then(a.vertex.cmp(&b.vertex))
+        });
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CscConfig;
+    use csc_graph::generators::{directed_cycle, gnm, laundering_network, LaunderingParams};
+    use csc_graph::traversal::shortest_cycle_oracle;
+    use csc_graph::DiGraph;
+
+    #[test]
+    fn batch_updates_aggregate() {
+        let g = DiGraph::new(4);
+        let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let edges = [(0u32, 1u32), (1, 2), (2, 3), (3, 0)];
+        let report = idx
+            .insert_edges(edges.iter().map(|&(a, b)| (VertexId(a), VertexId(b))))
+            .unwrap();
+        assert!(report.entries_inserted > 0);
+        assert_eq!(idx.query(VertexId(0)).unwrap().length, 4);
+        let report = idx
+            .remove_edges([(VertexId(3), VertexId(0))])
+            .unwrap();
+        assert!(report.entries_removed > 0);
+        assert_eq!(idx.query(VertexId(0)), None);
+    }
+
+    #[test]
+    fn batch_error_keeps_prior_edges() {
+        let g = DiGraph::new(3);
+        let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let result = idx.insert_edges([
+            (VertexId(0), VertexId(1)),
+            (VertexId(1), VertexId(1)), // self-loop: fails here
+            (VertexId(1), VertexId(2)),
+        ]);
+        assert!(result.is_err());
+        assert!(idx.contains_edge(VertexId(0), VertexId(1)));
+        assert!(!idx.contains_edge(VertexId(1), VertexId(2)));
+        assert!(!idx.is_poisoned(), "graph-level errors never poison");
+    }
+
+    #[test]
+    fn retire_vertex_isolates_and_stays_exact() {
+        let mut g = gnm(14, 50, 3);
+        let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let victim = VertexId(5);
+        idx.retire_vertex(victim).unwrap();
+        for &w in g.nbr_out(victim).to_vec().iter() {
+            g.try_remove_edge(victim, VertexId(w)).unwrap();
+        }
+        for &u in g.nbr_in(victim).to_vec().iter() {
+            g.try_remove_edge(VertexId(u), victim).unwrap();
+        }
+        assert_eq!(idx.query(victim), None);
+        for v in g.vertices() {
+            assert_eq!(
+                idx.query(v).map(|c| (c.length, c.count)),
+                shortest_cycle_oracle(&g, v),
+                "post-retirement SCCnt({v})"
+            );
+        }
+        assert!(matches!(
+            idx.retire_vertex(VertexId(99)),
+            Err(CscError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn girth_via_index() {
+        let idx = CscIndex::build(&directed_cycle(5), CscConfig::default()).unwrap();
+        assert_eq!(idx.girth(), Some((5, 5)));
+        let dag = DiGraph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let idx = CscIndex::build(&dag, CscConfig::default()).unwrap();
+        assert_eq!(idx.girth(), None);
+        // Cross-check against the brute-force girth on a random graph.
+        let g = gnm(25, 70, 8);
+        let idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        assert_eq!(idx.girth(), csc_graph::enumerate::girth(&g));
+    }
+
+    #[test]
+    fn top_k_screening_finds_planted_rings() {
+        let net = laundering_network(
+            LaunderingParams {
+                accounts: 600,
+                background_edges: 1200,
+                criminals: 4,
+                cycles_per_criminal: 7,
+                cycle_len: 4,
+            },
+            5,
+        );
+        let idx = CscIndex::build(&net.graph, CscConfig::default()).unwrap();
+        let top = idx.top_k_by_cycle_count(4, net.cycle_len);
+        assert_eq!(top.len(), 4);
+        let planted: std::collections::HashSet<u32> =
+            net.criminals.iter().map(|c| c.0).collect();
+        let hits = top.iter().filter(|vc| planted.contains(&vc.vertex.0)).count();
+        assert!(hits >= 3, "screening recovered only {hits}/4 rings");
+        // Ordered by count descending.
+        for w in top.windows(2) {
+            assert!(w[0].cycles.count >= w[1].cycles.count);
+        }
+    }
+}

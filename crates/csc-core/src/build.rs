@@ -1,0 +1,480 @@
+//! CSC index construction: Algorithms 3–4 (bipartite hub labeling with
+//! couple-vertex skipping).
+//!
+//! Only `V_in` vertices ever act as hubs: on any `v_o ~> v_i` path the
+//! highest-ranked vertex is always an incoming vertex, because every
+//! interior outgoing vertex is immediately preceded by its (higher-ranked)
+//! couple and the source `v_o` is outranked by the target `v_i`. A hub's
+//! forward BFS therefore only ever *queues* `V_in` vertices: when `w_i` is
+//! dequeued and labeled, its couple `w_o` is labeled in the same step at
+//! distance `+1` with the same count (every path into `w_o` runs through
+//! `w_i`), and expansion continues from `w_o`'s out-neighbors. The backward
+//! BFS mirrors this on `V_out`, with one special case: reaching the hub's
+//! own couple `u_o` means a cycle closed back to the hub — the entry goes
+//! into `L_out(u_o)` (this is exactly the entry a cycle query reads) and the
+//! traversal prunes there, since the only backward continuation would
+//! re-enter the hub.
+//!
+//! The same traversal, switched from append-only to upsert mode, is the
+//! re-labeling pass of decremental maintenance (`csc-core::delete`).
+
+use crate::invert::InvertedIndex;
+use csc_graph::bipartite::{couple, is_in_vertex};
+use csc_graph::{Csr, DiGraph, RankTable, VertexId};
+use csc_labeling::{
+    HubCache, LabelEntry, LabelSide, LabelingError, Labels, SearchState, INF,
+};
+
+/// Adjacency access abstraction: the static build runs over a cache-friendly
+/// [`Csr`] snapshot, while dynamic maintenance traverses the live
+/// [`DiGraph`].
+pub(crate) trait Adjacency {
+    /// Out-neighbors of `v`.
+    fn succ(&self, v: VertexId) -> &[u32];
+    /// In-neighbors of `v`.
+    fn pred(&self, v: VertexId) -> &[u32];
+}
+
+impl Adjacency for Csr {
+    #[inline]
+    fn succ(&self, v: VertexId) -> &[u32] {
+        self.nbr_out(v)
+    }
+    #[inline]
+    fn pred(&self, v: VertexId) -> &[u32] {
+        self.nbr_in(v)
+    }
+}
+
+impl Adjacency for DiGraph {
+    #[inline]
+    fn succ(&self, v: VertexId) -> &[u32] {
+        self.nbr_out(v)
+    }
+    #[inline]
+    fn pred(&self, v: VertexId) -> &[u32] {
+        self.nbr_in(v)
+    }
+}
+
+/// How label writes behave.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum WriteMode {
+    /// Push entries in hub-rank order (static construction: each hub's rank
+    /// exceeds all previously appended ones).
+    Append,
+    /// Insert-or-replace, skipping writes whose value is unchanged
+    /// (decremental re-labeling).
+    Upsert,
+}
+
+/// Counters for one or more traversals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct TraversalCounters {
+    pub inserted: usize,
+    pub updated: usize,
+    pub unchanged: usize,
+    pub pruned: usize,
+    pub dequeues: usize,
+    pub canonical: usize,
+    pub non_canonical: usize,
+    pub saturated: usize,
+}
+
+/// The reusable couple-skipping traversal engine.
+pub(crate) struct CoupleBfs {
+    state: SearchState,
+    cache: HubCache,
+}
+
+impl CoupleBfs {
+    pub(crate) fn new(n: usize) -> Self {
+        CoupleBfs {
+            state: SearchState::new(n),
+            cache: HubCache::new(n),
+        }
+    }
+
+    pub(crate) fn ensure(&mut self, n: usize) {
+        self.state.ensure(n);
+        self.cache.ensure(n);
+    }
+
+    /// Splits the workspace into its BFS state and hub cache (used by the
+    /// plain — non-couple-skipping — maintenance passes).
+    pub(crate) fn parts_mut(&mut self) -> (&mut SearchState, &mut HubCache) {
+        (&mut self.state, &mut self.cache)
+    }
+
+    /// Writes one entry according to `mode`, maintaining the inverted index
+    /// and counters. Returns the error on capacity overflow.
+    #[allow(clippy::too_many_arguments)]
+    fn write(
+        labels: &mut Labels,
+        inverted: Option<&mut InvertedIndex>,
+        counters: &mut TraversalCounters,
+        mode: WriteMode,
+        v: VertexId,
+        side: LabelSide,
+        hub: VertexId,
+        hub_rank: u32,
+        dist: u32,
+        count: u64,
+    ) -> Result<(), LabelingError> {
+        let entry = LabelEntry::new(hub_rank, dist, count).map_err(|source| {
+            LabelingError::Entry {
+                hub,
+                vertex: v,
+                source,
+            }
+        })?;
+        if entry.count_saturated() {
+            counters.saturated += 1;
+        }
+        match mode {
+            WriteMode::Append => {
+                labels.append(v, side, entry);
+                counters.inserted += 1;
+                if let Some(inv) = inverted {
+                    inv.add(side, hub_rank, v);
+                }
+            }
+            WriteMode::Upsert => {
+                if labels.entry_for(v, side, hub_rank) == Some(entry) {
+                    counters.unchanged += 1;
+                    return Ok(());
+                }
+                match labels.upsert(v, side, entry) {
+                    Some(_) => counters.updated += 1,
+                    None => {
+                        counters.inserted += 1;
+                        if let Some(inv) = inverted {
+                            inv.add(side, hub_rank, v);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Forward traversal from `hub` (must be a `V_in` vertex): produces the
+    /// in-labels `(hub, d, c)` of every vertex for which `hub` is the
+    /// highest-ranked vertex on at least one shortest `hub ~> ·` path.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_in(
+        &mut self,
+        graph: &impl Adjacency,
+        ranks: &RankTable,
+        labels: &mut Labels,
+        mut inverted: Option<&mut InvertedIndex>,
+        counters: &mut TraversalCounters,
+        hub: VertexId,
+        mode: WriteMode,
+    ) -> Result<(), LabelingError> {
+        debug_assert!(is_in_vertex(hub), "hubs must be incoming vertices");
+        let hub_rank = ranks.rank(hub);
+
+        // Scatter the hub's out-labels for the O(|label|) distance check.
+        self.cache.begin();
+        for e in labels.out_of(hub) {
+            self.cache.put(e.hub_rank(), e.dist(), e.count());
+        }
+        self.cache.put(hub_rank, 0, 1);
+
+        let state = &mut self.state;
+        state.reset();
+        state.visit(hub, 0, 1);
+        state.queue.push_back(hub.0);
+
+        while let Some(w) = state.queue.pop_front() {
+            let w = VertexId(w); // always in V_in
+            let dw = state.dist[w.index()];
+            let cw = state.count[w.index()];
+            counters.dequeues += 1;
+
+            // Shortest hub ~> w distance through strictly higher-ranked hubs.
+            let mut d_idx = INF;
+            for e in labels.in_of(w) {
+                if let Some((dh, _)) = self.cache.get(e.hub_rank()) {
+                    d_idx = d_idx.min(dh + e.dist());
+                }
+            }
+            if d_idx < dw {
+                counters.pruned += 1;
+                continue;
+            }
+            if d_idx == dw {
+                counters.non_canonical += 2;
+            } else {
+                counters.canonical += 2;
+            }
+
+            // Label w and, via couple skipping, its outgoing couple.
+            let wo = couple(w);
+            Self::write(
+                labels, inverted.as_deref_mut(), counters, mode,
+                w, LabelSide::In, hub, hub_rank, dw, cw,
+            )?;
+            Self::write(
+                labels, inverted.as_deref_mut(), counters, mode,
+                wo, LabelSide::In, hub, hub_rank, dw + 1, cw,
+            )?;
+
+            state.visit(wo, dw + 1, cw);
+            for &u in graph.succ(wo) {
+                let u = VertexId(u); // back in V_in
+                if !state.visited(u) {
+                    if hub_rank < ranks.rank(u) {
+                        state.visit(u, dw + 2, cw);
+                        state.queue.push_back(u.0);
+                    }
+                } else if state.dist[u.index()] == dw + 2 {
+                    state.accumulate(u, cw);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Backward traversal from `hub` (a `V_in` vertex): produces out-labels.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_out(
+        &mut self,
+        graph: &impl Adjacency,
+        ranks: &RankTable,
+        labels: &mut Labels,
+        mut inverted: Option<&mut InvertedIndex>,
+        counters: &mut TraversalCounters,
+        hub: VertexId,
+        mode: WriteMode,
+    ) -> Result<(), LabelingError> {
+        debug_assert!(is_in_vertex(hub), "hubs must be incoming vertices");
+        let hub_rank = ranks.rank(hub);
+        let hub_couple = couple(hub);
+
+        self.cache.begin();
+        for e in labels.in_of(hub) {
+            self.cache.put(e.hub_rank(), e.dist(), e.count());
+        }
+        self.cache.put(hub_rank, 0, 1);
+
+        let state = &mut self.state;
+        state.reset();
+        state.visit(hub, 0, 1);
+        counters.dequeues += 1;
+        counters.canonical += 1;
+        Self::write(
+            labels, inverted.as_deref_mut(), counters, mode,
+            hub, LabelSide::Out, hub, hub_rank, 0, 1,
+        )?;
+        for &xo in graph.pred(hub) {
+            let xo = VertexId(xo); // in V_out (self-loops are impossible)
+            if hub_rank < ranks.rank(xo) {
+                state.visit(xo, 1, 1);
+                state.queue.push_back(xo.0);
+            }
+        }
+
+        while let Some(w) = state.queue.pop_front() {
+            let w = VertexId(w); // always in V_out
+            let dw = state.dist[w.index()];
+            let cw = state.count[w.index()];
+            counters.dequeues += 1;
+
+            let mut d_idx = INF;
+            for e in labels.out_of(w) {
+                if let Some((dh, _)) = self.cache.get(e.hub_rank()) {
+                    d_idx = d_idx.min(e.dist() + dh);
+                }
+            }
+            if d_idx < dw {
+                counters.pruned += 1;
+                continue;
+            }
+
+            Self::write(
+                labels, inverted.as_deref_mut(), counters, mode,
+                w, LabelSide::Out, hub, hub_rank, dw, cw,
+            )?;
+            if w == hub_couple {
+                // The traversal closed a cycle back onto the hub's couple:
+                // this entry is the one SCCnt queries read. Continuing
+                // backward would re-enter the hub, so prune here.
+                counters.canonical += 1;
+                continue;
+            }
+            if d_idx == dw {
+                counters.non_canonical += 2;
+            } else {
+                counters.canonical += 2;
+            }
+
+            let wi = couple(w);
+            Self::write(
+                labels, inverted.as_deref_mut(), counters, mode,
+                wi, LabelSide::Out, hub, hub_rank, dw + 1, cw,
+            )?;
+            state.visit(wi, dw + 1, cw);
+            for &yo in graph.pred(wi) {
+                let yo = VertexId(yo); // in V_out
+                if !state.visited(yo) {
+                    if hub_rank < ranks.rank(yo) {
+                        state.visit(yo, dw + 2, cw);
+                        state.queue.push_back(yo.0);
+                    }
+                } else if state.dist[yo.index()] == dw + 2 {
+                    state.accumulate(yo, cw);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the full CSC label set for a bipartite graph under `ranks`
+/// (Algorithm 3). Returns labels and traversal counters.
+pub(crate) fn build_labels(
+    csr: &Csr,
+    ranks: &RankTable,
+    counters: &mut TraversalCounters,
+) -> Result<Labels, LabelingError> {
+    let n = csr.vertex_count();
+    let max = (csc_labeling::MAX_HUB_RANK as usize) + 1;
+    if n > max {
+        return Err(LabelingError::TooManyVertices { got: n, max });
+    }
+    let mut labels = Labels::new(n);
+    let mut bfs = CoupleBfs::new(n);
+    for hub in ranks.by_rank() {
+        if is_in_vertex(hub) {
+            bfs.run_in(csr, ranks, &mut labels, None, counters, hub, WriteMode::Append)?;
+            bfs.run_out(csr, ranks, &mut labels, None, counters, hub, WriteMode::Append)?;
+        } else {
+            // V_out vertices never act as hubs for other vertices
+            // (Algorithm 3 lines 6-8): self labels only.
+            let r = ranks.rank(hub);
+            let self_entry =
+                LabelEntry::new(r, 0, 1).map_err(|source| LabelingError::Entry {
+                    hub,
+                    vertex: hub,
+                    source,
+                })?;
+            labels.append(hub, LabelSide::In, self_entry);
+            labels.append(hub, LabelSide::Out, self_entry);
+            counters.canonical += 2;
+            counters.inserted += 2;
+        }
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csc_graph::bipartite::{in_vertex, out_vertex, BipartiteGraph};
+    use csc_graph::fixtures::{figure2, figure2_order, pv};
+    use csc_graph::generators::directed_cycle;
+    use csc_graph::OrderingStrategy;
+
+    fn build_for(g: &DiGraph, order: OrderingStrategy) -> (Labels, RankTable) {
+        let gb = BipartiteGraph::from_graph(g);
+        let ranks = RankTable::build(g, order).bipartite_order();
+        let csr = Csr::from_digraph(gb.graph());
+        let mut counters = TraversalCounters::default();
+        let labels = build_labels(&csr, &ranks, &mut counters).unwrap();
+        labels.validate_sorted().unwrap();
+        assert_eq!(
+            counters.inserted,
+            labels.total_entries(),
+            "append mode inserts exactly the stored entries"
+        );
+        (labels, ranks)
+    }
+
+    #[test]
+    fn triangle_cycle_entries() {
+        let g = directed_cycle(3);
+        let (labels, _) = build_for(&g, OrderingStrategy::Degree);
+        // SCCnt(0) via labels: distance v_o ~> v_i must be 5 (= 2*3 - 1).
+        let dc = labels
+            .dist_count(out_vertex(VertexId(0)), in_vertex(VertexId(0)))
+            .unwrap();
+        assert_eq!((dc.dist, dc.count), (5, 1));
+    }
+
+    #[test]
+    fn figure2_table_iii_entries() {
+        // Table III: Lin(v7_i) = {(v1_i, 4, 2), (v7_i, 0, 1)};
+        // Lout(v7_o) = {(v1_i, 7, 1), (v7_i, 11, 1), (v7_o, 0, 1)}.
+        let g = figure2();
+        let ranks = RankTable::from_order(&figure2_order()).bipartite_order();
+        let csr = Csr::from_digraph(BipartiteGraph::from_graph(&g).graph());
+        let mut counters = TraversalCounters::default();
+        let labels = build_labels(&csr, &ranks, &mut counters).unwrap();
+
+        let v7i = in_vertex(pv(7));
+        let v7o = out_vertex(pv(7));
+        let r = |v: VertexId| ranks.rank(v);
+
+        let lin = labels.in_of(v7i);
+        assert_eq!(lin.len(), 2, "Lin(v7_i): {lin:?}");
+        assert_eq!(
+            (lin[0].hub_rank(), lin[0].dist(), lin[0].count()),
+            (r(in_vertex(pv(1))), 4, 2)
+        );
+        assert_eq!(
+            (lin[1].hub_rank(), lin[1].dist(), lin[1].count()),
+            (r(v7i), 0, 1)
+        );
+
+        let lout = labels.out_of(v7o);
+        assert_eq!(lout.len(), 3, "Lout(v7_o): {lout:?}");
+        assert_eq!(
+            (lout[0].hub_rank(), lout[0].dist(), lout[0].count()),
+            (r(in_vertex(pv(1))), 7, 1)
+        );
+        assert_eq!(
+            (lout[1].hub_rank(), lout[1].dist(), lout[1].count()),
+            (r(v7i), 11, 1)
+        );
+        assert_eq!(
+            (lout[2].hub_rank(), lout[2].dist(), lout[2].count()),
+            (r(v7o), 0, 1)
+        );
+
+        // Example 6: SCCnt(v7) = (11+1)/2 = 6 with count 2*1 + 1*1 = 3.
+        let dc = labels.dist_count(v7o, in_vertex(pv(7))).unwrap();
+        assert_eq!((dc.dist, dc.count), (11, 3));
+    }
+
+    #[test]
+    fn only_vin_vertices_are_hubs() {
+        let g = figure2();
+        let (labels, ranks) = build_for(&g, OrderingStrategy::Degree);
+        for v in 0..labels.vertex_count() as u32 {
+            let v = VertexId(v);
+            for e in labels.in_of(v).iter().chain(labels.out_of(v)) {
+                let hub = ranks.vertex_at_rank(e.hub_rank());
+                assert!(
+                    is_in_vertex(hub) || hub == v,
+                    "non-self V_out hub {hub:?} on {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn couple_edge_label_exists() {
+        // (v_i, 1, 1) must be in Lin(v_o) for every vertex (Section IV-B).
+        let g = figure2();
+        let (labels, ranks) = build_for(&g, OrderingStrategy::Degree);
+        for v in g.vertices() {
+            let (vi, vo) = (in_vertex(v), out_vertex(v));
+            let e = labels
+                .entry_for(vo, LabelSide::In, ranks.rank(vi))
+                .unwrap_or_else(|| panic!("missing (v_i, 1, 1) in Lin({vo:?})"));
+            assert_eq!((e.dist(), e.count()), (1, 1));
+        }
+    }
+}

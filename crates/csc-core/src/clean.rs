@@ -1,0 +1,144 @@
+//! `CLEAN_LABEL` (Algorithm 8): eager removal of dominated label entries
+//! under the minimality update strategy.
+//!
+//! When an update shortens paths *into* a vertex `w`, two kinds of entries
+//! can become redundant: entries `(h, d, c)` in `L_in(w)` whose stored `d`
+//! now exceeds the true `sd(h, w)`, and entries `(w, d, c)` in `L_out(y)`
+//! (where `w` serves as the hub) with the same defect. The inverted indexes
+//! locate the second kind without scanning every label list. Shortened
+//! paths *out of* `w` are the mirror image.
+//!
+//! Removal is sound unconditionally: the test `d > dist_index(h, w)` can
+//! only fire when a strictly shorter connection exists in the index, and
+//! index distances never under-estimate, so only genuinely dominated
+//! entries are dropped.
+
+use crate::invert::InvertedIndex;
+use crate::stats::UpdateReport;
+use csc_graph::RankTable;
+use csc_graph::VertexId;
+use csc_labeling::{LabelSide, Labels};
+
+/// Removes entries of `L_side(w)` dominated by strictly shorter index
+/// routes, plus entries keyed by hub `w` on the opposite side's carriers.
+///
+/// `side == In` cleans after new shorter paths *into* `w`; `side == Out`
+/// after new shorter paths *out of* `w`.
+pub(crate) fn clean_label(
+    labels: &mut Labels,
+    inverted: &mut InvertedIndex,
+    ranks: &RankTable,
+    w: VertexId,
+    side: LabelSide,
+    report: &mut UpdateReport,
+) {
+    // Part 1: entries (h, d, c) in L_side(w) with d > current dist.
+    let snapshot: Vec<_> = labels.side_of(w, side).to_vec();
+    for e in snapshot {
+        let h = ranks.vertex_at_rank(e.hub_rank());
+        if h == w {
+            continue; // self entries are always exact
+        }
+        let best = match side {
+            LabelSide::In => labels.dist(h, w),
+            LabelSide::Out => labels.dist(w, h),
+        };
+        if best.is_some_and(|d| e.dist() > d) {
+            labels.remove(w, side, e.hub_rank());
+            inverted.remove(side, e.hub_rank(), w);
+            report.entries_removed += 1;
+        }
+    }
+
+    // Part 2: entries where w is the hub, held on the opposite side by the
+    // inverted carriers: (w, d, c) in L_out(y) encodes a path y ~> w, which
+    // new shorter paths into w can dominate (and mirrored for Out).
+    let w_rank = ranks.rank(w);
+    let opposite = side.flip();
+    let carriers: Vec<u32> = inverted.carriers(opposite, w_rank).to_vec();
+    for y in carriers {
+        let y = VertexId(y);
+        if y == w {
+            continue;
+        }
+        let Some(e) = labels.entry_for(y, opposite, w_rank) else {
+            continue;
+        };
+        let best = match side {
+            LabelSide::In => labels.dist(y, w),
+            LabelSide::Out => labels.dist(w, y),
+        };
+        if best.is_some_and(|d| e.dist() > d) {
+            labels.remove(y, opposite, w_rank);
+            inverted.remove(opposite, w_rank, y);
+            report.entries_removed += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csc_labeling::LabelEntry;
+
+    fn e(h: u32, d: u32, c: u64) -> LabelEntry {
+        LabelEntry::new(h, d, c).unwrap()
+    }
+
+    fn identity_ranks(n: usize) -> RankTable {
+        RankTable::from_order(&(0..n as u32).map(VertexId).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn removes_dominated_in_entry() {
+        // Vertex 2 has Lin entries via hubs 0 (dist 5, stale) and 1 (dist 1).
+        // Hub 0 reaches vertex 2 in dist 2 via hub 1 (0 -> 1 dist 1; 1 -> 2
+        // dist 1), so (0, 5) is dominated.
+        let mut labels = Labels::new(3);
+        labels.append(VertexId(0), LabelSide::Out, e(0, 0, 1));
+        labels.append(VertexId(0), LabelSide::Out, e(1, 1, 1));
+        labels.append(VertexId(2), LabelSide::In, e(0, 5, 1));
+        labels.append(VertexId(2), LabelSide::In, e(1, 1, 1));
+        let mut inv = InvertedIndex::from_labels(&labels);
+        let ranks = identity_ranks(3);
+        let mut report = UpdateReport::default();
+        clean_label(&mut labels, &mut inv, &ranks, VertexId(2), LabelSide::In, &mut report);
+        assert_eq!(report.entries_removed, 1);
+        assert!(labels.entry_for(VertexId(2), LabelSide::In, 0).is_none());
+        assert!(labels.entry_for(VertexId(2), LabelSide::In, 1).is_some());
+        inv.validate_against(&labels).unwrap();
+    }
+
+    #[test]
+    fn keeps_exact_entries() {
+        let mut labels = Labels::new(2);
+        labels.append(VertexId(0), LabelSide::Out, e(0, 0, 1));
+        labels.append(VertexId(1), LabelSide::In, e(0, 1, 1));
+        labels.append(VertexId(1), LabelSide::In, e(1, 0, 1));
+        let mut inv = InvertedIndex::from_labels(&labels);
+        let ranks = identity_ranks(2);
+        let mut report = UpdateReport::default();
+        clean_label(&mut labels, &mut inv, &ranks, VertexId(1), LabelSide::In, &mut report);
+        assert_eq!(report.entries_removed, 0);
+        assert_eq!(labels.total_entries(), 3);
+    }
+
+    #[test]
+    fn cleans_hub_side_via_inverted_carriers() {
+        // Vertex 1 acts as hub for vertex 2's out-label: (1, 4) in Lout(2),
+        // i.e. a stale path 2 ~> 1; hub 0 connects 2 ~> 1 at distance 2.
+        let mut labels = Labels::new(3);
+        labels.append(VertexId(1), LabelSide::In, e(0, 1, 1)); // 0 ~> 1
+        labels.append(VertexId(1), LabelSide::In, e(1, 0, 1));
+        labels.append(VertexId(2), LabelSide::Out, e(0, 1, 1)); // 2 ~> 0
+        labels.append(VertexId(2), LabelSide::Out, e(1, 4, 1)); // stale 2 ~> 1
+        let mut inv = InvertedIndex::from_labels(&labels);
+        let ranks = identity_ranks(3);
+        let mut report = UpdateReport::default();
+        // New shorter paths arrived *into* vertex 1.
+        clean_label(&mut labels, &mut inv, &ranks, VertexId(1), LabelSide::In, &mut report);
+        assert_eq!(report.entries_removed, 1);
+        assert!(labels.entry_for(VertexId(2), LabelSide::Out, 1).is_none());
+        inv.validate_against(&labels).unwrap();
+    }
+}

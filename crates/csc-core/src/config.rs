@@ -1,0 +1,113 @@
+//! Index configuration.
+
+use csc_graph::OrderingStrategy;
+
+/// How incremental updates treat label entries that new shortest paths have
+/// made redundant (Section V-B, "Efficiency Trade-off").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum UpdateStrategy {
+    /// Leave dominated entries in place. They can never win the
+    /// minimum-distance selection at query time, so correctness is
+    /// unaffected, and skipping the redundancy checks makes updates 58–678x
+    /// faster in the paper's measurements. This is the paper's (and our)
+    /// recommended default.
+    #[default]
+    Redundancy,
+    /// Eagerly remove dominated entries after every label change
+    /// (Algorithm 8, `CLEAN_LABEL`), keeping the index minimal at a high
+    /// per-update cost. Requires the inverted hub indexes.
+    Minimality,
+}
+
+/// Configuration for building a [`CscIndex`](crate::CscIndex).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CscConfig {
+    /// Vertex-ordering strategy, applied to the *original* graph; couples in
+    /// the bipartite graph inherit the order with `v_i` directly above
+    /// `v_o` (the couple-vertex-skipping precondition).
+    pub order: OrderingStrategy,
+    /// Redundancy vs. minimality on updates.
+    pub update_strategy: UpdateStrategy,
+    /// Maintain the inverted hub indexes (`inv_in` / `inv_out`).
+    ///
+    /// Required by [`UpdateStrategy::Minimality`] and used by edge deletion
+    /// to find affected entries in output-sensitive time; without it,
+    /// deletions fall back to a full label scan. Costs one `u32` of memory
+    /// per label entry.
+    pub maintain_inverted: bool,
+}
+
+impl Default for CscConfig {
+    fn default() -> Self {
+        CscConfig {
+            order: OrderingStrategy::Degree,
+            update_strategy: UpdateStrategy::Redundancy,
+            maintain_inverted: true,
+        }
+    }
+}
+
+impl CscConfig {
+    /// The paper's recommended configuration (degree order, redundancy).
+    pub fn recommended() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style: set the ordering strategy.
+    pub fn with_order(mut self, order: OrderingStrategy) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Builder-style: set the update strategy. Selecting minimality also
+    /// switches the inverted indexes on (they are required).
+    pub fn with_update_strategy(mut self, s: UpdateStrategy) -> Self {
+        self.update_strategy = s;
+        if s == UpdateStrategy::Minimality {
+            self.maintain_inverted = true;
+        }
+        self
+    }
+
+    /// Builder-style: toggle the inverted indexes (ignored — forced on —
+    /// under minimality).
+    pub fn with_inverted(mut self, on: bool) -> Self {
+        self.maintain_inverted = on || self.update_strategy == UpdateStrategy::Minimality;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_recommendation() {
+        let c = CscConfig::default();
+        assert_eq!(c.order, OrderingStrategy::Degree);
+        assert_eq!(c.update_strategy, UpdateStrategy::Redundancy);
+        assert!(c.maintain_inverted);
+        assert_eq!(CscConfig::recommended(), c);
+    }
+
+    #[test]
+    fn minimality_forces_inverted() {
+        let c = CscConfig::default()
+            .with_inverted(false)
+            .with_update_strategy(UpdateStrategy::Minimality);
+        assert!(c.maintain_inverted);
+        let c2 = CscConfig::default()
+            .with_update_strategy(UpdateStrategy::Minimality)
+            .with_inverted(false);
+        assert!(c2.maintain_inverted, "inverted stays on under minimality");
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = CscConfig::default()
+            .with_order(OrderingStrategy::Identity)
+            .with_inverted(false);
+        assert_eq!(c.order, OrderingStrategy::Identity);
+        assert!(!c.maintain_inverted);
+    }
+}

@@ -1,0 +1,527 @@
+//! Decremental maintenance: edge deletion (Section V-C).
+//!
+//! Deleting `(a, b)` removes the bipartite edge `(a_o, b_i)`. Unlike
+//! insertion, a deletion can *grow* distances, which both invalidates
+//! existing entries and creates brand-new hub relationships (a vertex can
+//! become the highest-ranked one on a replacement shortest path it was
+//! never maximal on before). The implementation splits the affected hubs
+//! into two regimes:
+//!
+//! * **Count-repair hubs** — hubs `v` whose distance to the endpoint is
+//!   *unchanged* after the deletion (a surviving equally-short route
+//!   splices into any path that crossed the edge, so *every* distance from
+//!   `v` is unchanged). Such hubs can gain no new hub roles; they only
+//!   lose the shortest paths that crossed the edge. Those are subtracted
+//!   by a resumed BFS from `b_i` — the exact mirror of the insertion pass:
+//!   seeded with `v`'s label entry at `a_o` (`v`-maximal prefix count),
+//!   propagating below-`v` suffix counts, and decrementing each reached
+//!   entry whose stored distance matches. An entry whose count reaches
+//!   zero is removed. This cone is tiny compared to the hub's full label
+//!   region, which is what makes deletions tractable.
+//! * **Re-label hubs** — hubs whose endpoint distance grew (detected
+//!   exactly with pre/post-deletion BFS from the endpoints). Their stale
+//!   entries are deleted by the paper's superset rule
+//!   (`sd(v, a_o) + 1 + sd(b_i, x) == d`), and the couple-skipping pruned
+//!   BFS of the static construction re-runs from them in descending rank
+//!   order in upsert mode — restoring over-deleted entries, refreshing
+//!   changed ones, and creating the newly-maximal hubs' entries. The
+//!   descending order keeps the pruning distance checks exact: they only
+//!   consult strictly higher-ranked hubs, which are unaffected, already
+//!   re-labeled, or only count-repaired (distances untouched).
+//!
+//! All distance conditions are evaluated with plain BFS traversals from
+//! the edge endpoints — deliberately not with index lookups: the
+//! couple-skipped index legitimately does not cover `V_out`-source pairs
+//! whose maximum is the source itself, and an overestimate here could
+//! silently skip a stale entry.
+//!
+//! A count-repair pass that meets a saturated (24-bit-capped) count cannot
+//! subtract reliably; the hub is then demoted to the re-label regime,
+//! preserving exactness.
+
+use crate::build::WriteMode;
+use crate::error::CscError;
+use crate::index::CscIndex;
+use crate::stats::UpdateReport;
+use csc_graph::bipartite::{in_vertex, is_in_vertex, out_vertex};
+use csc_graph::traversal::bfs_distances_dir;
+use csc_graph::{GraphError, VertexId};
+use csc_labeling::{LabelEntry, LabelSide, LabelingError, INF};
+use std::time::Instant;
+
+impl CscIndex {
+    /// Removes the edge `(a, b)` from the graph and decrementally repairs
+    /// the index.
+    ///
+    /// # Errors
+    ///
+    /// Graph errors (missing edge, out-of-range endpoints) leave the index
+    /// untouched. A labeling capacity overflow mid-update poisons the index.
+    pub fn remove_edge(&mut self, a: VertexId, b: VertexId) -> Result<UpdateReport, CscError> {
+        self.check_ready()?;
+        let n = self.original_vertex_count();
+        for v in [a, b] {
+            if v.index() >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: v, n }.into());
+            }
+        }
+        let (ao, bi) = (out_vertex(a), in_vertex(b));
+        if !self.gb.graph().has_edge(ao, bi) {
+            return Err(GraphError::MissingEdge(a, b).into());
+        }
+        let start = Instant::now();
+        let mut report = UpdateReport::default();
+        if let Err(e) = self.deccnt(ao, bi, &mut report) {
+            self.poisoned = true;
+            return Err(e.into());
+        }
+        report.duration = start.elapsed();
+        self.stats.deletions += 1;
+        self.stats.entries_added += report.entries_inserted;
+        self.stats.entries_removed += report.entries_removed;
+        Ok(report)
+    }
+
+    fn deccnt(
+        &mut self,
+        ao: VertexId,
+        bi: VertexId,
+        report: &mut UpdateReport,
+    ) -> Result<(), LabelingError> {
+        // ---- Distance conditions via plain BFS, pre and post deletion. ---
+        let graph = self.gb.graph();
+        let to_ao = bfs_distances_dir(graph, ao, false); // sd(v, a_o)
+        let to_bi = bfs_distances_dir(graph, bi, false); // sd(v, b_i)
+        let from_bi = bfs_distances_dir(graph, bi, true); // sd(b_i, v)
+        let from_ao = bfs_distances_dir(graph, ao, true); // sd(a_o, v)
+
+        let (a, _) = csc_graph::bipartite::original(ao);
+        let (b, _) = csc_graph::bipartite::original(bi);
+        self.gb
+            .remove_original_edge(a, b)
+            .expect("edge existence was checked");
+        let graph = self.gb.graph();
+        let to_bi_new = bfs_distances_dir(graph, bi, false);
+        let from_ao_new = bfs_distances_dir(graph, ao, true);
+
+        // ---- Classify V_in hubs into the two regimes. --------------------
+        // (rank, forward side?) per regime; `relabel` drives step 2 + 3,
+        // `repair` drives subtract passes.
+        let mut relabel: Vec<(u32, bool, bool)> = Vec::new();
+        let mut repair: Vec<(u32, bool)> = Vec::new();
+        for v in 0..graph.vertex_count() {
+            let vid = VertexId(v as u32);
+            if !is_in_vertex(vid) {
+                continue;
+            }
+            let crosses_fwd =
+                matches!((to_ao[v], to_bi[v]), (Some(da), Some(db)) if da + 1 == db);
+            let crosses_bwd =
+                matches!((from_bi[v], from_ao[v]), (Some(db), Some(da)) if db + 1 == da);
+            if !crosses_fwd && !crosses_bwd {
+                continue;
+            }
+            let rank = self.ranks.rank(vid);
+            let grown_fwd = crosses_fwd && to_bi_new[v] != to_bi[v];
+            let grown_bwd = crosses_bwd && from_ao_new[v] != from_ao[v];
+            if grown_fwd || grown_bwd {
+                relabel.push((rank, grown_fwd, grown_bwd));
+            }
+            // Unchanged-distance sides with a maximal crossing prefix (an
+            // exact entry at the inner endpoint) need count subtraction.
+            if crosses_fwd && !grown_fwd {
+                if let Some(e) = self.labels.entry_for(ao, LabelSide::In, rank) {
+                    if Some(e.dist()) == to_ao[v] {
+                        repair.push((rank, true));
+                    }
+                }
+            }
+            if crosses_bwd && !grown_bwd {
+                if let Some(e) = self.labels.entry_for(bi, LabelSide::Out, rank) {
+                    if Some(e.dist()) == from_bi[v] {
+                        repair.push((rank, false));
+                    }
+                }
+            }
+        }
+
+        // ---- Phase A: count-repair passes (may demote on saturation). ----
+        for &(rank, forward) in &repair {
+            let vk = self.ranks.vertex_at_rank(rank);
+            report.affected_hubs += 1;
+            let seed = if forward {
+                self.labels.entry_for(ao, LabelSide::In, rank)
+            } else {
+                self.labels.entry_for(bi, LabelSide::Out, rank)
+            }
+            .expect("classification verified the entry");
+            match self.subtract_pass(rank, vk, if forward { bi } else { ao }, seed, forward, report)
+            {
+                SubtractOutcome::Done => {}
+                SubtractOutcome::Demote => {
+                    // Saturated counts: recompute this hub from scratch.
+                    relabel.push((rank, forward, !forward));
+                }
+            }
+        }
+        relabel.sort_unstable();
+        relabel.dedup();
+
+        // ---- Phase B: superset deletion for re-label hubs. ----------------
+        let carriers = |index: &CscIndex, side: LabelSide, rank: u32| -> Vec<u32> {
+            match &index.inverted {
+                Some(inv) => inv.carriers(side, rank).to_vec(),
+                None => (0..index.labels.vertex_count() as u32)
+                    .filter(|&x| index.labels.entry_for(VertexId(x), side, rank).is_some())
+                    .collect(),
+            }
+        };
+        for &(rank, fwd, bwd) in &relabel {
+            let hub = self.ranks.vertex_at_rank(rank);
+            if fwd {
+                if let Some(da) = to_ao[hub.index()] {
+                    for x in carriers(self, LabelSide::In, rank) {
+                        let x = VertexId(x);
+                        let Some(e) = self.labels.entry_for(x, LabelSide::In, rank) else {
+                            continue;
+                        };
+                        if let Some(dbx) = from_bi[x.index()] {
+                            if da + 1 + dbx == e.dist() {
+                                self.labels.remove(x, LabelSide::In, rank);
+                                if let Some(inv) = &mut self.inverted {
+                                    inv.remove(LabelSide::In, rank, x);
+                                }
+                                report.entries_removed += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            if bwd {
+                if let Some(db) = from_bi[hub.index()] {
+                    for y in carriers(self, LabelSide::Out, rank) {
+                        let y = VertexId(y);
+                        let Some(e) = self.labels.entry_for(y, LabelSide::Out, rank) else {
+                            continue;
+                        };
+                        if let Some(day) = to_ao[y.index()] {
+                            if day + 1 + db == e.dist() {
+                                self.labels.remove(y, LabelSide::Out, rank);
+                                if let Some(inv) = &mut self.inverted {
+                                    inv.remove(LabelSide::Out, rank, y);
+                                }
+                                report.entries_removed += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- Phase C: re-label in descending rank order. ------------------
+        let CscIndex {
+            ref gb,
+            ref ranks,
+            ref mut labels,
+            ref mut inverted,
+            ref mut workspace,
+            ..
+        } = *self;
+        let graph = gb.graph();
+        workspace.ensure(graph.vertex_count());
+        let mut counters = crate::build::TraversalCounters::default();
+        for &(rank, fwd, bwd) in &relabel {
+            let hub = ranks.vertex_at_rank(rank);
+            report.affected_hubs += 1;
+            if fwd {
+                workspace.run_in(
+                    graph, ranks, labels, inverted.as_mut(),
+                    &mut counters, hub, WriteMode::Upsert,
+                )?;
+            }
+            if bwd {
+                workspace.run_out(
+                    graph, ranks, labels, inverted.as_mut(),
+                    &mut counters, hub, WriteMode::Upsert,
+                )?;
+            }
+        }
+        report.entries_inserted += counters.inserted;
+        report.entries_updated += counters.updated;
+        report.vertices_visited += counters.dequeues;
+        Ok(())
+    }
+
+    /// Subtracts the counts of `vk`-maximal shortest paths that crossed the
+    /// deleted edge from `vk`'s label entries (forward: in-labels reached
+    /// from `b_i`; backward: out-labels co-reached from `a_o`).
+    ///
+    /// Buffers all edits and applies them only when the whole cone is
+    /// saturation-free; otherwise reports [`SubtractOutcome::Demote`].
+    fn subtract_pass(
+        &mut self,
+        vk_rank: u32,
+        vk: VertexId,
+        start: VertexId,
+        seed: LabelEntry,
+        forward: bool,
+        report: &mut UpdateReport,
+    ) -> SubtractOutcome {
+        if seed.count_saturated() {
+            return SubtractOutcome::Demote;
+        }
+        let (own_side, target_side) = if forward {
+            (LabelSide::Out, LabelSide::In)
+        } else {
+            (LabelSide::In, LabelSide::Out)
+        };
+        let graph = self.gb.graph();
+        self.workspace.ensure(graph.vertex_count());
+        let (state, cache) = self.workspace.parts_mut();
+
+        cache.begin();
+        for e in self.labels.side_of(vk, own_side) {
+            cache.put(e.hub_rank(), e.dist(), e.count());
+        }
+        cache.put(vk_rank, 0, 1);
+
+        state.reset();
+        state.visit(start, seed.dist() + 1, seed.count());
+        state.queue.push_back(start.0);
+
+        // (vertex, remaining count) edits; remaining == 0 removes the entry.
+        let mut edits: Vec<(VertexId, u64)> = Vec::new();
+        while let Some(w) = state.queue.pop_front() {
+            let w = VertexId(w);
+            let dw = state.dist[w.index()];
+            let cw = state.count[w.index()];
+            report.vertices_visited += 1;
+
+            // Prune where the crossing paths are not shortest: distances
+            // only exceed `sd` deeper in the cone, so nothing there needs
+            // subtraction either.
+            let mut dg = INF;
+            for e in self.labels.side_of(w, target_side) {
+                if let Some((dh, _)) = cache.get(e.hub_rank()) {
+                    dg = dg.min(dh + e.dist());
+                }
+            }
+            if dw > dg {
+                continue;
+            }
+
+            if let Some(e) = self.labels.entry_for(w, target_side, vk_rank) {
+                if e.dist() == dw {
+                    if e.count_saturated() {
+                        return SubtractOutcome::Demote;
+                    }
+                    edits.push((w, e.count().saturating_sub(cw)));
+                }
+            }
+
+            let nbrs = if forward { graph.nbr_out(w) } else { graph.nbr_in(w) };
+            for &u in nbrs {
+                let u = VertexId(u);
+                if !state.visited(u) {
+                    if vk_rank < self.ranks.rank(u) {
+                        state.visit(u, dw + 1, cw);
+                        state.queue.push_back(u.0);
+                    }
+                } else if state.dist[u.index()] == dw + 1 {
+                    state.accumulate(u, cw);
+                }
+            }
+        }
+
+        for (w, remaining) in edits {
+            if remaining == 0 {
+                self.labels.remove(w, target_side, vk_rank);
+                if let Some(inv) = &mut self.inverted {
+                    inv.remove(target_side, vk_rank, w);
+                }
+                report.entries_removed += 1;
+            } else {
+                let e = self.labels.entry_for(w, target_side, vk_rank).expect("buffered");
+                let updated = LabelEntry::new_unchecked(vk_rank, e.dist(), remaining);
+                self.labels.upsert(w, target_side, updated);
+                report.entries_updated += 1;
+            }
+        }
+        SubtractOutcome::Done
+    }
+}
+
+enum SubtractOutcome {
+    Done,
+    Demote,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CscConfig, UpdateStrategy};
+    use csc_graph::generators::{directed_cycle, gnm, layered_cycle};
+    use csc_graph::traversal::shortest_cycle_oracle;
+    use csc_graph::DiGraph;
+
+    fn assert_queries_match(idx: &CscIndex, g: &DiGraph, context: &str) {
+        for v in g.vertices() {
+            assert_eq!(
+                idx.query(v).map(|c| (c.length, c.count)),
+                shortest_cycle_oracle(g, v),
+                "{context}: SCCnt({v})"
+            );
+        }
+    }
+
+    #[test]
+    fn delete_breaks_the_only_cycle() {
+        let g = directed_cycle(4);
+        let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        assert!(idx.query(VertexId(0)).is_some());
+        let report = idx.remove_edge(VertexId(1), VertexId(2)).unwrap();
+        assert!(report.entries_removed > 0);
+        for v in g.vertices() {
+            assert_eq!(idx.query(v), None, "no cycles remain");
+        }
+        assert_eq!(idx.original_edge_count(), 3);
+        assert_eq!(idx.stats().deletions, 1);
+    }
+
+    #[test]
+    fn delete_lengthens_shortest_cycles() {
+        // Chorded cycle: 0..5 ring plus chord 3 -> 0. Removing the chord
+        // restores the length-6 ring as the only cycle.
+        let mut g = directed_cycle(6);
+        g.try_add_edge(VertexId(3), VertexId(0)).unwrap();
+        let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        assert_eq!(idx.query(VertexId(0)).unwrap().length, 4);
+        idx.remove_edge(VertexId(3), VertexId(0)).unwrap();
+        let g2 = directed_cycle(6);
+        assert_queries_match(&idx, &g2, "after chord removal");
+        assert_eq!(idx.query(VertexId(0)).unwrap().length, 6);
+    }
+
+    #[test]
+    fn delete_reduces_parallel_count() {
+        // Two parallel 3-cycles through 0; deleting one leaves the other.
+        // This exercises the count-repair (subtraction) regime: distances
+        // to the endpoints are unchanged for most hubs.
+        let g = DiGraph::from_edges(
+            5,
+            vec![(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)],
+        );
+        let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        assert_eq!(idx.query(VertexId(0)).unwrap().count, 2);
+        idx.remove_edge(VertexId(3), VertexId(4)).unwrap();
+        let mut g2 = g.clone();
+        g2.try_remove_edge(VertexId(3), VertexId(4)).unwrap();
+        assert_queries_match(&idx, &g2, "after breaking one cycle");
+        let c = idx.query(VertexId(0)).unwrap();
+        assert_eq!((c.length, c.count), (3, 1));
+    }
+
+    #[test]
+    fn graph_errors_leave_index_clean() {
+        let mut idx = CscIndex::build(&directed_cycle(3), CscConfig::default()).unwrap();
+        let before = idx.total_entries();
+        assert!(matches!(
+            idx.remove_edge(VertexId(0), VertexId(2)),
+            Err(CscError::Graph(GraphError::MissingEdge(..)))
+        ));
+        assert!(matches!(
+            idx.remove_edge(VertexId(0), VertexId(9)),
+            Err(CscError::Graph(GraphError::VertexOutOfRange { .. }))
+        ));
+        assert_eq!(idx.total_entries(), before);
+        assert!(!idx.is_poisoned());
+        assert_eq!(idx.stats().deletions, 0);
+    }
+
+    #[test]
+    fn random_deletions_match_oracle() {
+        for seed in 0..4 {
+            let mut g = gnm(20, 70, seed);
+            let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+            let edges = g.edge_vec();
+            // Delete every 4th edge, verifying after each.
+            for (k, &(u, w)) in edges.iter().enumerate().filter(|(k, _)| k % 4 == 0) {
+                g.try_remove_edge(VertexId(u), VertexId(w)).unwrap();
+                idx.remove_edge(VertexId(u), VertexId(w)).unwrap();
+                assert_queries_match(&idx, &g, &format!("seed {seed} deletion {k}"));
+            }
+            if let Some(inv) = &idx.inverted {
+                inv.validate_against(&idx.labels).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn deletions_without_inverted_index_fall_back_to_scan() {
+        let mut g = gnm(16, 50, 3);
+        let config = CscConfig::default().with_inverted(false);
+        let mut idx = CscIndex::build(&g, config).unwrap();
+        assert!(idx.inverted.is_none());
+        let edges = g.edge_vec();
+        for &(u, w) in edges.iter().take(10) {
+            g.try_remove_edge(VertexId(u), VertexId(w)).unwrap();
+            idx.remove_edge(VertexId(u), VertexId(w)).unwrap();
+            assert_queries_match(&idx, &g, "scan fallback");
+        }
+    }
+
+    #[test]
+    fn delete_then_reinsert_roundtrip() {
+        // The paper's dynamic experiment: remove random edges, insert them
+        // back, and the index must answer like the original graph.
+        for seed in [11, 12] {
+            let g = gnm(18, 60, seed);
+            let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+            let edges = g.edge_vec();
+            let removed: Vec<_> = edges.iter().step_by(3).copied().collect();
+            for &(u, w) in &removed {
+                idx.remove_edge(VertexId(u), VertexId(w)).unwrap();
+            }
+            for &(u, w) in &removed {
+                idx.insert_edge(VertexId(u), VertexId(w)).unwrap();
+            }
+            assert_queries_match(&idx, &g, &format!("seed {seed} roundtrip"));
+        }
+    }
+
+    #[test]
+    fn minimality_deletion_interplay() {
+        let mut g = gnm(15, 45, 21);
+        let config = CscConfig::default().with_update_strategy(UpdateStrategy::Minimality);
+        let mut idx = CscIndex::build(&g, config).unwrap();
+        let edges = g.edge_vec();
+        for &(u, w) in edges.iter().take(12) {
+            g.try_remove_edge(VertexId(u), VertexId(w)).unwrap();
+            idx.remove_edge(VertexId(u), VertexId(w)).unwrap();
+            assert_queries_match(&idx, &g, "minimality deletions");
+        }
+        idx.inverted
+            .as_ref()
+            .unwrap()
+            .validate_against(&idx.labels)
+            .unwrap();
+    }
+
+    #[test]
+    fn saturated_counts_demote_to_relabel() {
+        // 2^26 shortest cycles saturate the 24-bit counts; deleting an edge
+        // must stay exact (demotion path) at the distance level.
+        let widths = vec![2usize; 27];
+        let g = layered_cycle(&widths);
+        let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let c = idx.query(VertexId(0)).unwrap();
+        assert_eq!(c.length, widths.len() as u32);
+        // Remove one edge of the first layer pair: cycles through vertex 0
+        // halve (still saturated) and lengths stay identical.
+        idx.remove_edge(VertexId(2), VertexId(4)).unwrap();
+        let after = idx.query(VertexId(0)).unwrap();
+        assert_eq!(after.length, widths.len() as u32);
+        let oracle = shortest_cycle_oracle(&idx.original_graph(), VertexId(0)).unwrap();
+        assert_eq!(after.length, oracle.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types for the CSC index.
+
+use csc_graph::GraphError;
+use csc_labeling::LabelingError;
+use std::fmt;
+
+/// Errors from building, querying, or maintaining a [`CscIndex`](crate::CscIndex).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CscError {
+    /// A graph-level problem (bad vertex, duplicate/missing edge, ...).
+    Graph(GraphError),
+    /// A labeling-level problem (capacity overflow).
+    Labeling(LabelingError),
+    /// The index was left inconsistent by an earlier failed update and must
+    /// be rebuilt before further use.
+    Poisoned,
+    /// A serialization problem.
+    Serial(String),
+}
+
+impl fmt::Display for CscError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CscError::Graph(e) => write!(f, "graph error: {e}"),
+            CscError::Labeling(e) => write!(f, "labeling error: {e}"),
+            CscError::Poisoned => write!(
+                f,
+                "index is poisoned by an earlier failed update; rebuild it"
+            ),
+            CscError::Serial(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CscError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CscError::Graph(e) => Some(e),
+            CscError::Labeling(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for CscError {
+    fn from(e: GraphError) -> Self {
+        CscError::Graph(e)
+    }
+}
+
+impl From<LabelingError> for CscError {
+    fn from(e: LabelingError) -> Self {
+        CscError::Labeling(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csc_graph::VertexId;
+
+    #[test]
+    fn conversions_and_messages() {
+        let e: CscError = GraphError::SelfLoop(VertexId(1)).into();
+        assert!(e.to_string().contains("self-loop"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(CscError::Poisoned.to_string().contains("rebuild"));
+        assert!(CscError::Serial("bad magic".into()).to_string().contains("bad magic"));
+    }
+}

@@ -1,0 +1,407 @@
+//! The CSC index: construction entry point, queries, and accessors.
+
+use crate::build::{build_labels, CoupleBfs, TraversalCounters};
+use crate::config::CscConfig;
+use crate::error::CscError;
+use crate::invert::InvertedIndex;
+use crate::stats::IndexStats;
+use csc_graph::bipartite::{in_vertex, out_vertex, BipartiteGraph};
+use csc_graph::{Csr, DiGraph, RankTable, VertexId};
+use csc_labeling::{BuildStats, CycleCount, DistCount, LabelEntry, LabelSide, Labels};
+use std::time::Instant;
+
+/// A dynamic shortest-cycle-counting index (the paper's CSC).
+///
+/// Build once with [`CscIndex::build`], query with [`CscIndex::query`] in
+/// microseconds, and keep the index synchronized with the graph through
+/// [`insert_edge`](CscIndex::insert_edge) /
+/// [`remove_edge`](CscIndex::remove_edge) instead of rebuilding.
+///
+/// ```
+/// use csc_core::CscIndex;
+/// use csc_graph::{DiGraph, VertexId};
+///
+/// // A triangle plus a chord: two cycles through vertex 0.
+/// let g = DiGraph::from_edges(3, vec![(0, 1), (1, 2), (2, 0), (0, 2)]);
+/// let index = CscIndex::build(&g, Default::default()).unwrap();
+/// let c = index.query(VertexId(0)).unwrap();
+/// assert_eq!((c.length, c.count), (2, 1)); // the 0 -> 2 -> 0 two-cycle
+/// ```
+pub struct CscIndex {
+    pub(crate) gb: BipartiteGraph,
+    pub(crate) ranks: RankTable,
+    pub(crate) labels: Labels,
+    pub(crate) inverted: Option<InvertedIndex>,
+    pub(crate) config: CscConfig,
+    pub(crate) stats: IndexStats,
+    pub(crate) poisoned: bool,
+    pub(crate) workspace: CoupleBfs,
+}
+
+impl Clone for CscIndex {
+    fn clone(&self) -> Self {
+        CscIndex {
+            gb: self.gb.clone(),
+            ranks: self.ranks.clone(),
+            labels: self.labels.clone(),
+            inverted: self.inverted.clone(),
+            config: self.config,
+            stats: self.stats.clone(),
+            poisoned: self.poisoned,
+            workspace: CoupleBfs::new(self.gb.graph().vertex_count()),
+        }
+    }
+}
+
+impl std::fmt::Debug for CscIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CscIndex")
+            .field("vertices", &self.original_vertex_count())
+            .field("edges", &self.original_edge_count())
+            .field("entries", &self.total_entries())
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
+}
+
+impl CscIndex {
+    /// Builds the index for `g` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the bipartite graph exceeds the 23-bit hub capacity or any
+    /// label distance exceeds 17 bits (see `csc-labeling::entry`).
+    pub fn build(g: &DiGraph, config: CscConfig) -> Result<Self, CscError> {
+        let start = Instant::now();
+        let gb = BipartiteGraph::from_graph(g);
+        let ranks = RankTable::build(g, config.order).bipartite_order();
+        let csr = Csr::from_digraph(gb.graph());
+        let mut counters = TraversalCounters::default();
+        let labels = build_labels(&csr, &ranks, &mut counters)?;
+        let inverted = config
+            .maintain_inverted
+            .then(|| InvertedIndex::from_labels(&labels));
+        let n = gb.graph().vertex_count();
+        let stats = IndexStats {
+            build: BuildStats {
+                canonical: counters.canonical,
+                non_canonical: counters.non_canonical,
+                pruned: counters.pruned,
+                dequeues: counters.dequeues,
+                saturated_counts: counters.saturated,
+                build_time: start.elapsed(),
+            },
+            ..Default::default()
+        };
+        Ok(CscIndex {
+            gb,
+            ranks,
+            labels,
+            inverted,
+            config,
+            stats,
+            poisoned: false,
+            workspace: CoupleBfs::new(n),
+        })
+    }
+
+    /// `SCCnt(v)`: the length and number of the shortest cycles through
+    /// `v`, or `None` if no cycle passes through `v`.
+    ///
+    /// Evaluates `SPCnt(v_o, v_i)` on the bipartite labels; the bipartite
+    /// distance `d` maps back to a cycle length of `(d + 1) / 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of the indexed graph.
+    pub fn query(&self, v: VertexId) -> Option<CycleCount> {
+        let dc = self.query_raw(v)?;
+        debug_assert_eq!(dc.dist % 2, 1, "V_out ~> V_in distances are odd");
+        Some(CycleCount::new(dc.dist.div_ceil(2), dc.count))
+    }
+
+    /// The raw bipartite `(distance, count)` behind [`query`](Self::query).
+    pub fn query_raw(&self, v: VertexId) -> Option<DistCount> {
+        assert!(
+            v.index() < self.original_vertex_count(),
+            "query vertex {v} out of range ({} vertices)",
+            self.original_vertex_count()
+        );
+        self.labels.dist_count(out_vertex(v), in_vertex(v))
+    }
+
+    /// Appends a fresh isolated vertex to the graph and index, ranked at
+    /// the bottom of the order. Returns its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        let v = self.gb.add_original_vertex();
+        let (vi, vo) = (in_vertex(v), out_vertex(v));
+        self.ranks.push_lowest();
+        self.ranks.push_lowest();
+        debug_assert_eq!(self.ranks.vertex_at_rank(self.ranks.len() as u32 - 2), vi);
+        self.labels.push_vertex();
+        self.labels.push_vertex();
+        let (ri, ro) = (self.ranks.rank(vi), self.ranks.rank(vo));
+        // Exactly the labels the static build gives an isolated couple.
+        self.labels
+            .append(vi, LabelSide::In, LabelEntry::new_unchecked(ri, 0, 1));
+        self.labels
+            .append(vi, LabelSide::Out, LabelEntry::new_unchecked(ri, 0, 1));
+        self.labels
+            .append(vo, LabelSide::In, LabelEntry::new_unchecked(ri, 1, 1));
+        self.labels
+            .append(vo, LabelSide::In, LabelEntry::new_unchecked(ro, 0, 1));
+        self.labels
+            .append(vo, LabelSide::Out, LabelEntry::new_unchecked(ro, 0, 1));
+        if let Some(inv) = &mut self.inverted {
+            inv.push_rank();
+            inv.push_rank();
+            inv.add(LabelSide::In, ri, vi);
+            inv.add(LabelSide::Out, ri, vi);
+            inv.add(LabelSide::In, ri, vo);
+            inv.add(LabelSide::In, ro, vo);
+            inv.add(LabelSide::Out, ro, vo);
+        }
+        self.workspace.ensure(self.gb.graph().vertex_count());
+        v
+    }
+
+    /// Number of vertices in the indexed (original) graph.
+    #[inline]
+    pub fn original_vertex_count(&self) -> usize {
+        self.gb.original_vertex_count()
+    }
+
+    /// Number of edges in the indexed (original) graph.
+    #[inline]
+    pub fn original_edge_count(&self) -> usize {
+        self.gb.original_edge_count()
+    }
+
+    /// `true` if the original edge `(a, b)` is currently indexed.
+    pub fn contains_edge(&self, a: VertexId, b: VertexId) -> bool {
+        if a.index() >= self.original_vertex_count()
+            || b.index() >= self.original_vertex_count()
+        {
+            return false;
+        }
+        self.gb.graph().has_edge(out_vertex(a), in_vertex(b))
+    }
+
+    /// Iterates the original graph's edges.
+    pub fn original_edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.gb.graph().edges().filter_map(|(u, w)| {
+            let (ou, su) = csc_graph::bipartite::original(u);
+            let (ow, sw) = csc_graph::bipartite::original(w);
+            use csc_graph::bipartite::Side;
+            (su == Side::Out && sw == Side::In).then_some((ou, ow))
+        })
+    }
+
+    /// The bipartite graph backing the index.
+    pub fn bipartite(&self) -> &BipartiteGraph {
+        &self.gb
+    }
+
+    /// The label store (bipartite vertex ids, hub ranks).
+    pub fn labels(&self) -> &Labels {
+        &self.labels
+    }
+
+    /// The bipartite rank table.
+    pub fn ranks(&self) -> &RankTable {
+        &self.ranks
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &CscConfig {
+        &self.config
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    /// Total label entries (Figure 9(b)'s index size is `8 *` this).
+    pub fn total_entries(&self) -> usize {
+        self.labels.total_entries()
+    }
+
+    /// Index size in bytes under the paper's 64-bit entry encoding.
+    pub fn index_bytes(&self) -> usize {
+        self.labels.entry_bytes()
+    }
+
+    /// `true` if an earlier failed update left the index inconsistent.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    pub(crate) fn check_ready(&self) -> Result<(), CscError> {
+        if self.poisoned {
+            Err(CscError::Poisoned)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csc_graph::fixtures::{figure2, pv};
+    use csc_graph::generators::{directed_cycle, gnm, preferential_attachment};
+    use csc_graph::traversal::shortest_cycle_oracle;
+    use csc_graph::OrderingStrategy;
+
+    fn assert_all_queries_match(g: &DiGraph, config: CscConfig) {
+        let idx = CscIndex::build(g, config).unwrap();
+        for v in g.vertices() {
+            assert_eq!(
+                idx.query(v).map(|c| (c.length, c.count)),
+                shortest_cycle_oracle(g, v),
+                "SCCnt({v})"
+            );
+        }
+    }
+
+    #[test]
+    fn example_1_and_6_figure2() {
+        let g = figure2();
+        let idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        assert_eq!(idx.query(pv(7)), Some(CycleCount::new(6, 3)));
+        // Every vertex of Figure 2 lies on the same big cycle structure.
+        for v in g.vertices() {
+            assert_eq!(
+                idx.query(v).map(|c| (c.length, c.count)),
+                shortest_cycle_oracle(&g, v),
+                "SCCnt({v})"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graphs_all_orders() {
+        for seed in 0..6 {
+            let g = gnm(28, 84, seed);
+            for order in [
+                OrderingStrategy::Degree,
+                OrderingStrategy::Identity,
+                OrderingStrategy::Random(seed),
+                OrderingStrategy::DegreeProduct,
+            ] {
+                assert_all_queries_match(&g, CscConfig::default().with_order(order));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_reciprocal_graphs() {
+        let g = preferential_attachment(120, 3, 0.5, 11);
+        assert_all_queries_match(&g, CscConfig::default());
+    }
+
+    #[test]
+    fn dag_has_no_cycles() {
+        let g = DiGraph::from_edges(5, vec![(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        for v in g.vertices() {
+            assert_eq!(idx.query(v), None);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn query_out_of_range_panics() {
+        let idx = CscIndex::build(&directed_cycle(3), CscConfig::default()).unwrap();
+        idx.query(VertexId(3));
+    }
+
+    #[test]
+    fn accessors_and_debug() {
+        let g = figure2();
+        let idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        assert_eq!(idx.original_vertex_count(), 10);
+        assert_eq!(idx.original_edge_count(), 13);
+        assert!(idx.contains_edge(pv(1), pv(3)));
+        assert!(!idx.contains_edge(pv(3), pv(1)));
+        assert!(!idx.contains_edge(VertexId(99), VertexId(0)));
+        let mut edges: Vec<_> = idx.original_edges().collect();
+        edges.sort();
+        assert_eq!(edges.len(), 13);
+        assert!(edges.contains(&(pv(1), pv(3))));
+        assert_eq!(idx.index_bytes(), idx.total_entries() * 8);
+        assert!(!idx.is_poisoned());
+        let dbg = format!("{idx:?}");
+        assert!(dbg.contains("entries"));
+        // Build stats classified every entry.
+        let s = idx.stats();
+        assert_eq!(
+            s.build.canonical + s.build.non_canonical,
+            idx.total_entries()
+        );
+    }
+
+    #[test]
+    fn inverted_index_matches_labels_after_build() {
+        let g = gnm(40, 160, 2);
+        let idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        idx.inverted
+            .as_ref()
+            .expect("default config maintains inverted")
+            .validate_against(&idx.labels)
+            .unwrap();
+        let idx2 = CscIndex::build(&g, CscConfig::default().with_inverted(false)).unwrap();
+        assert!(idx2.inverted.is_none());
+        assert_eq!(idx2.total_entries(), idx.total_entries());
+    }
+
+    #[test]
+    fn add_vertex_matches_static_build() {
+        // Index of (cycle + fresh vertex) == index of 4-vertex graph where
+        // vertex 3 is isolated, under the same order.
+        let g3 = directed_cycle(3);
+        let mut idx = CscIndex::build(&g3, CscConfig::default()).unwrap();
+        let nv = idx.add_vertex();
+        assert_eq!(nv, VertexId(3));
+
+        let mut g4 = directed_cycle(3);
+        let v = g4.add_vertex();
+        assert_eq!(v, VertexId(3));
+        let fresh = CscIndex::build(&g4, CscConfig::default()).unwrap();
+
+        assert_eq!(idx.labels, fresh.labels);
+        assert_eq!(idx.ranks, fresh.ranks);
+        assert_eq!(idx.gb, fresh.gb);
+        assert_eq!(idx.inverted, fresh.inverted);
+        assert_eq!(idx.query(nv), None);
+    }
+
+    #[test]
+    fn poisoned_index_refuses_every_operation() {
+        let g = directed_cycle(3);
+        let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        idx.poisoned = true; // simulate a failed mid-update state
+        assert!(idx.is_poisoned());
+        assert!(matches!(
+            idx.insert_edge(VertexId(0), VertexId(2)),
+            Err(crate::CscError::Poisoned)
+        ));
+        assert!(matches!(
+            idx.remove_edge(VertexId(0), VertexId(1)),
+            Err(crate::CscError::Poisoned)
+        ));
+        assert!(matches!(idx.to_bytes(), Err(crate::CscError::Poisoned)));
+        // Queries still work (documented: reads may be stale, writes fail).
+        let _ = idx.query(VertexId(0));
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let g = directed_cycle(4);
+        let idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let clone = idx.clone();
+        assert_eq!(clone.total_entries(), idx.total_entries());
+        assert_eq!(clone.query(VertexId(0)), idx.query(VertexId(0)));
+    }
+}

@@ -1,0 +1,420 @@
+//! Incremental maintenance: `INCCNT` (Section V-A, Algorithms 5–7).
+//!
+//! Inserting the original edge `(a, b)` adds exactly one bipartite edge
+//! `(a_o, b_i)`. Every brand-new shortest path runs through that edge
+//! (Lemma V.2), and decomposes as `old-shortest(v ~> a_o) + edge +
+//! old-shortest(b_i ~> w)`. The highest-ranked vertex of the left segment
+//! is, by the cover constraint, already a hub in `L_in(a_o)`; of the right
+//! segment, a hub in `L_out(b_i)`. So resumed BFS passes from exactly those
+//! *affected hubs* — seeded with the hub's own label distance and count
+//! (Theorem V.1: using the full `SPCnt` would double-count non-canonical
+//! hubs) — reach every label that must change.
+//!
+//! Passes run in descending rank order so that when a pass consults the
+//! index (`D_G(v_k, w)` pruning), entries of higher-ranked affected hubs
+//! are already updated.
+//!
+//! ## Skipping `V_out` hubs
+//!
+//! `L_in(a_o)` always contains `a_o`'s own self entry, and the paper's
+//! Algorithm 5 would start a pass from it. We skip passes whose hub is an
+//! outgoing vertex: the labels they would create are never consulted by a
+//! cycle query, because on any `v_o ~> v_i` path every outgoing vertex is
+//! outranked by an incoming vertex on the same path (its couple — for the
+//! source `v_o`, the target `v_i`), so the highest-ranked vertex (the hub
+//! the query needs) is always an incoming vertex. Keeping `V_out` ranks
+//! out of the label lists is also what keeps the decremental
+//! distance-condition checks sound (see `csc-core::delete`). The
+//! incremental-vs-rebuild equivalence tests exercise this invariant.
+//!
+//! ## Redundancy vs. minimality
+//!
+//! Under [`UpdateStrategy::Redundancy`](crate::UpdateStrategy::Redundancy)
+//! dominated entries are left behind: an entry whose stored distance
+//! exceeds the true shortest distance can never win the minimum-distance
+//! selection of a query (label distances never under-estimate, so a stale
+//! component pushes the candidate sum strictly above the covered minimum)
+//! and is therefore harmless. Minimality mode calls `CLEAN_LABEL` after
+//! every improving write.
+
+use crate::clean::clean_label;
+use crate::config::UpdateStrategy;
+use crate::error::CscError;
+use crate::index::CscIndex;
+use crate::invert::InvertedIndex;
+use crate::stats::UpdateReport;
+use csc_graph::bipartite::is_in_vertex;
+use csc_graph::{DiGraph, RankTable, VertexId};
+use csc_labeling::{
+    HubCache, LabelEntry, LabelSide, LabelingError, Labels, SearchState, INF,
+};
+use std::time::Instant;
+
+impl CscIndex {
+    /// Inserts the edge `(a, b)` into the graph and incrementally repairs
+    /// the index (`INCCNT`).
+    ///
+    /// # Errors
+    ///
+    /// Graph errors (self-loop, duplicate, out-of-range) leave the index
+    /// untouched. A labeling capacity overflow mid-update poisons the index
+    /// (see [`CscIndex::is_poisoned`]); rebuild it in that case.
+    pub fn insert_edge(&mut self, a: VertexId, b: VertexId) -> Result<UpdateReport, CscError> {
+        self.check_ready()?;
+        let start = Instant::now();
+        let (ao, bi) = self.gb.insert_original_edge(a, b)?;
+        let mut report = UpdateReport::default();
+        if let Err(e) = self.inccnt(ao, bi, &mut report) {
+            self.poisoned = true;
+            return Err(e.into());
+        }
+        report.duration = start.elapsed();
+        self.stats.insertions += 1;
+        self.stats.entries_added += report.entries_inserted;
+        self.stats.entries_removed += report.entries_removed;
+        Ok(report)
+    }
+
+    fn inccnt(
+        &mut self,
+        ao: VertexId,
+        bi: VertexId,
+        report: &mut UpdateReport,
+    ) -> Result<(), LabelingError> {
+        let rank_ao = self.ranks.rank(ao);
+        let rank_bi = self.ranks.rank(bi);
+        // Affected hubs, snapshotted before any label changes.
+        let hub_a: Vec<LabelEntry> = self.labels.in_of(ao).to_vec();
+        let hub_b: Vec<LabelEntry> = self.labels.out_of(bi).to_vec();
+
+        let CscIndex {
+            ref gb,
+            ref ranks,
+            ref mut labels,
+            ref mut inverted,
+            ref config,
+            ref mut workspace,
+            ..
+        } = *self;
+        let graph = gb.graph();
+        workspace.ensure(graph.vertex_count());
+        let (state, cache) = workspace.parts_mut();
+
+        // Merge both sorted hub lists in ascending rank (descending
+        // importance); a hub present in both runs both passes.
+        let (mut i, mut j) = (0usize, 0usize);
+        loop {
+            let ra = hub_a.get(i).map_or(u32::MAX, |e| e.hub_rank());
+            let rb = hub_b.get(j).map_or(u32::MAX, |e| e.hub_rank());
+            if ra == u32::MAX && rb == u32::MAX {
+                break;
+            }
+            let r = ra.min(rb);
+            let vk = ranks.vertex_at_rank(r);
+            if is_in_vertex(vk) {
+                if ra == r && r < rank_bi {
+                    let seed = hub_a[i];
+                    report.affected_hubs += 1;
+                    maintenance_pass(
+                        graph, ranks, labels, inverted, state, cache,
+                        config.update_strategy, Direction::Forward,
+                        r, vk, bi, seed.dist() + 1, seed.count(), report,
+                    )?;
+                }
+                if rb == r && r < rank_ao {
+                    let seed = hub_b[j];
+                    report.affected_hubs += 1;
+                    maintenance_pass(
+                        graph, ranks, labels, inverted, state, cache,
+                        config.update_strategy, Direction::Backward,
+                        r, vk, ao, seed.dist() + 1, seed.count(), report,
+                    )?;
+                }
+            }
+            if ra == r {
+                i += 1;
+            }
+            if rb == r {
+                j += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Direction {
+    /// `FORWARD_PASS`: repair in-labels reachable from `b_i`.
+    Forward,
+    /// `BACKWARD_PASS`: repair out-labels co-reachable from `a_o`.
+    Backward,
+}
+
+/// One resumed BFS from an affected hub (Algorithm 6 and its mirror).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn maintenance_pass(
+    graph: &DiGraph,
+    ranks: &RankTable,
+    labels: &mut Labels,
+    inverted: &mut Option<InvertedIndex>,
+    state: &mut SearchState,
+    cache: &mut HubCache,
+    strategy: UpdateStrategy,
+    direction: Direction,
+    vk_rank: u32,
+    vk: VertexId,
+    start: VertexId,
+    seed_dist: u32,
+    seed_count: u64,
+    report: &mut UpdateReport,
+) -> Result<(), LabelingError> {
+    let (own_side, target_side) = match direction {
+        Direction::Forward => (LabelSide::Out, LabelSide::In),
+        Direction::Backward => (LabelSide::In, LabelSide::Out),
+    };
+
+    // The hub's own labels, scattered for D_G(v_k, ·) distance checks.
+    cache.begin();
+    for e in labels.side_of(vk, own_side) {
+        cache.put(e.hub_rank(), e.dist(), e.count());
+    }
+    cache.put(vk_rank, 0, 1);
+
+    state.reset();
+    state.visit(start, seed_dist, seed_count);
+    state.queue.push_back(start.0);
+
+    while let Some(w) = state.queue.pop_front() {
+        let w = VertexId(w);
+        let dw = state.dist[w.index()];
+        let cw = state.count[w.index()];
+        report.vertices_visited += 1;
+
+        // D_G(v_k, w) under the (partially updated) current index.
+        let mut dg = INF;
+        for e in labels.side_of(w, target_side) {
+            if let Some((dh, _)) = cache.get(e.hub_rank()) {
+                dg = dg.min(dh + e.dist());
+            }
+        }
+        if dw > dg {
+            continue; // Case 1: not a new shortest path; prune.
+        }
+
+        let improved = update_label(
+            labels, inverted, w, target_side, vk, vk_rank, dw, cw, report,
+        )?;
+        if improved && strategy == UpdateStrategy::Minimality {
+            let inv = inverted
+                .as_mut()
+                .expect("minimality requires inverted indexes");
+            clean_label(labels, inv, ranks, w, target_side, report);
+        }
+
+        let nbrs = match direction {
+            Direction::Forward => graph.nbr_out(w),
+            Direction::Backward => graph.nbr_in(w),
+        };
+        for &u in nbrs {
+            let u = VertexId(u);
+            if !state.visited(u) {
+                if vk_rank < ranks.rank(u) {
+                    state.visit(u, dw + 1, cw);
+                    state.queue.push_back(u.0);
+                }
+            } else if state.dist[u.index()] == dw + 1 {
+                state.accumulate(u, cw);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `UPDATE_LABEL` (Algorithm 7). Returns `true` when the write shortened a
+/// distance or created an entry (the cases that can strand redundancy).
+#[allow(clippy::too_many_arguments)]
+fn update_label(
+    labels: &mut Labels,
+    inverted: &mut Option<InvertedIndex>,
+    w: VertexId,
+    side: LabelSide,
+    vk: VertexId,
+    vk_rank: u32,
+    d: u32,
+    c: u64,
+    report: &mut UpdateReport,
+) -> Result<bool, LabelingError> {
+    let wrap = |source| LabelingError::Entry { hub: vk, vertex: w, source };
+    match labels.entry_for(w, side, vk_rank) {
+        Some(old) => {
+            if d < old.dist() {
+                labels.upsert(w, side, LabelEntry::new(vk_rank, d, c).map_err(wrap)?);
+                report.entries_updated += 1;
+                Ok(true)
+            } else if d == old.dist() {
+                // New same-length shortest paths: accumulate the counting.
+                let merged = c.saturating_add(old.count());
+                labels.upsert(w, side, LabelEntry::new(vk_rank, d, merged).map_err(wrap)?);
+                report.entries_updated += 1;
+                Ok(false)
+            } else {
+                // The traversal found only a longer connection than the
+                // recorded one; nothing to repair. (Unreachable when the
+                // seed label was exact, possible with stale seeds under
+                // the redundancy strategy.)
+                Ok(false)
+            }
+        }
+        None => {
+            labels.upsert(w, side, LabelEntry::new(vk_rank, d, c).map_err(wrap)?);
+            if let Some(inv) = inverted {
+                inv.add(side, vk_rank, w);
+            }
+            report.entries_inserted += 1;
+            Ok(true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CscConfig;
+    use csc_graph::generators::{directed_cycle, gnm};
+    use csc_graph::traversal::shortest_cycle_oracle;
+
+    fn assert_queries_match(idx: &CscIndex, g: &DiGraph, context: &str) {
+        for v in g.vertices() {
+            assert_eq!(
+                idx.query(v).map(|c| (c.length, c.count)),
+                shortest_cycle_oracle(g, v),
+                "{context}: SCCnt({v})"
+            );
+        }
+    }
+
+    #[test]
+    fn insert_closes_a_cycle() {
+        // Path 0 -> 1 -> 2, then insert 2 -> 0: a triangle appears.
+        let g = DiGraph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        assert_eq!(idx.query(VertexId(0)), None);
+        let report = idx.insert_edge(VertexId(2), VertexId(0)).unwrap();
+        assert!(report.entries_inserted + report.entries_updated > 0);
+        assert!(report.affected_hubs > 0);
+        let mut g2 = g.clone();
+        g2.try_add_edge(VertexId(2), VertexId(0)).unwrap();
+        assert_queries_match(&idx, &g2, "after closing triangle");
+        assert_eq!(idx.original_edge_count(), 3);
+    }
+
+    #[test]
+    fn insert_shortens_existing_cycles() {
+        // 6-cycle; chord 3 -> 0 shortens the cycle through 0..3 to length 4.
+        let g = directed_cycle(6);
+        let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        assert_eq!(idx.query(VertexId(0)).unwrap().length, 6);
+        idx.insert_edge(VertexId(3), VertexId(0)).unwrap();
+        let mut g2 = g.clone();
+        g2.try_add_edge(VertexId(3), VertexId(0)).unwrap();
+        assert_queries_match(&idx, &g2, "after chord");
+        assert_eq!(idx.query(VertexId(0)).unwrap().length, 4);
+        assert_eq!(idx.query(VertexId(4)).unwrap().length, 6);
+    }
+
+    #[test]
+    fn insert_adds_parallel_shortest_cycles() {
+        // Triangle 0-1-2 plus a second disjoint route 0 -> 3 -> 4 -> 0 of
+        // equal length: counts must accumulate, not overwrite.
+        let g = DiGraph::from_edges(5, vec![(0, 1), (1, 2), (2, 0), (0, 3), (3, 4)]);
+        let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        assert_eq!(idx.query(VertexId(0)).unwrap().count, 1);
+        idx.insert_edge(VertexId(4), VertexId(0)).unwrap();
+        let mut g2 = g.clone();
+        g2.try_add_edge(VertexId(4), VertexId(0)).unwrap();
+        assert_queries_match(&idx, &g2, "after second cycle");
+        let c = idx.query(VertexId(0)).unwrap();
+        assert_eq!((c.length, c.count), (3, 2));
+    }
+
+    #[test]
+    fn graph_errors_leave_index_clean() {
+        let mut idx = CscIndex::build(&directed_cycle(3), CscConfig::default()).unwrap();
+        let before = idx.total_entries();
+        assert!(idx.insert_edge(VertexId(0), VertexId(0)).is_err());
+        assert!(idx.insert_edge(VertexId(0), VertexId(1)).is_err()); // duplicate
+        assert!(idx.insert_edge(VertexId(0), VertexId(9)).is_err());
+        assert_eq!(idx.total_entries(), before);
+        assert!(!idx.is_poisoned());
+        assert_eq!(idx.stats().insertions, 0);
+    }
+
+    #[test]
+    fn incremental_equals_oracle_over_random_insertions() {
+        for seed in 0..4 {
+            let mut g = gnm(20, 30, seed);
+            let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+            // Insert 25 random new edges one at a time.
+            let mut added = 0;
+            let mut s = seed;
+            while added < 25 {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let a = VertexId((s >> 33) as u32 % 20);
+                let b = VertexId((s >> 13) as u32 % 20);
+                if a == b || g.has_edge(a, b) {
+                    continue;
+                }
+                g.try_add_edge(a, b).unwrap();
+                idx.insert_edge(a, b).unwrap();
+                added += 1;
+                assert_queries_match(&idx, &g, &format!("seed {seed} after edge {added}"));
+            }
+            assert_eq!(idx.stats().insertions, 25);
+        }
+    }
+
+    #[test]
+    fn minimality_strategy_matches_and_stays_lean() {
+        let mut g = gnm(18, 30, 9);
+        let config = CscConfig::default().with_update_strategy(UpdateStrategy::Minimality);
+        let mut idx_min = CscIndex::build(&g, config).unwrap();
+        let mut idx_red = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let mut s = 7u64;
+        let mut added = 0;
+        while added < 20 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = VertexId((s >> 33) as u32 % 18);
+            let b = VertexId((s >> 11) as u32 % 18);
+            if a == b || g.has_edge(a, b) {
+                continue;
+            }
+            g.try_add_edge(a, b).unwrap();
+            idx_min.insert_edge(a, b).unwrap();
+            idx_red.insert_edge(a, b).unwrap();
+            added += 1;
+            assert_queries_match(&idx_min, &g, "minimality");
+            assert_queries_match(&idx_red, &g, "redundancy");
+        }
+        // Minimality never stores more entries than redundancy.
+        assert!(idx_min.total_entries() <= idx_red.total_entries());
+        idx_min
+            .inverted
+            .as_ref()
+            .unwrap()
+            .validate_against(&idx_min.labels)
+            .unwrap();
+    }
+
+    #[test]
+    fn insert_touching_new_vertex() {
+        let mut idx = CscIndex::build(&directed_cycle(3), CscConfig::default()).unwrap();
+        let nv = idx.add_vertex();
+        idx.insert_edge(VertexId(0), nv).unwrap();
+        idx.insert_edge(nv, VertexId(1)).unwrap();
+        // New vertex now sits on a cycle nv -> 1 -> 2 -> 0 -> nv of length 4.
+        let c = idx.query(nv).unwrap();
+        assert_eq!((c.length, c.count), (4, 1));
+        // And vertex 0 still has its length-3 cycle.
+        assert_eq!(idx.query(VertexId(0)).unwrap().length, 3);
+    }
+}

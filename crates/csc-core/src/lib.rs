@@ -1,0 +1,60 @@
+//! # csc-core
+//!
+//! **CSC — Counting Shortest Cycles**: a dynamic hub-labeling index that
+//! answers "how many shortest cycles pass through vertex `v`?" in
+//! microseconds, reproducing *Towards Real-Time Counting Shortest Cycles on
+//! Dynamic Graphs: A Hub Labeling Approach* (ICDE 2022).
+//!
+//! The index converts the directed graph to its bipartite form (every
+//! vertex split into an in/out couple), builds a shortest-path-counting
+//! 2-hop labeling over it with *couple-vertex skipping*, and answers
+//! `SCCnt(v)` as a single label intersection `SPCnt(v_o, v_i)` — no
+//! neighborhood enumeration, which is what makes query time independent of
+//! the query vertex's degree. Edge insertions and deletions repair the
+//! index in place.
+//!
+//! ```
+//! use csc_core::{CscConfig, CscIndex};
+//! use csc_graph::{DiGraph, VertexId};
+//!
+//! let g = DiGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 0)]);
+//! let mut index = CscIndex::build(&g, CscConfig::default()).unwrap();
+//!
+//! let c = index.query(VertexId(0)).unwrap();
+//! assert_eq!((c.length, c.count), (3, 1));
+//!
+//! // The graph changes; the index follows without a rebuild.
+//! index.insert_edge(VertexId(1), VertexId(0)).unwrap();
+//! let c = index.query(VertexId(0)).unwrap();
+//! assert_eq!((c.length, c.count), (2, 1)); // the new 0 -> 1 -> 0 two-cycle
+//!
+//! index.remove_edge(VertexId(1), VertexId(0)).unwrap();
+//! assert_eq!(index.query(VertexId(0)).unwrap().length, 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytics;
+mod build;
+mod clean;
+pub mod concurrent;
+pub mod config;
+mod delete;
+pub mod error;
+mod index;
+mod insert;
+mod invert;
+pub mod reduction;
+pub mod serial;
+pub mod stats;
+pub mod verify;
+
+pub use concurrent::ConcurrentIndex;
+pub use config::{CscConfig, UpdateStrategy};
+pub use error::CscError;
+pub use index::CscIndex;
+pub use stats::{IndexStats, UpdateReport};
+
+// Re-exported so downstream users need only this crate for common work.
+pub use csc_labeling::CycleCount;

@@ -1,0 +1,279 @@
+//! Versioned binary serialization for [`CscIndex`].
+//!
+//! Persisting the index avoids the (potentially hours-long at paper scale)
+//! rebuild on restart. The format stores the original edge list, the rank
+//! table, the configuration, and every label list verbatim; the inverted
+//! indexes are reconstructed on load (they are derived data and compress
+//! poorly).
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic  "CSCIDX\x01\n"                       8 bytes
+//! n      original vertex count                u32
+//! m      original edge count                  u64
+//! edges  (u32, u32) * m
+//! ranks  vertex_at[rank] for 2n ranks         u32 * 2n
+//! config order tag + seed, strategy, inverted u8, u64, u8, u8
+//! labels per bipartite vertex: in-len u32, in entries u64*,
+//!        out-len u32, out entries u64*
+//! ```
+
+use crate::build::CoupleBfs;
+use crate::config::{CscConfig, UpdateStrategy};
+use crate::error::CscError;
+use crate::index::CscIndex;
+use crate::invert::InvertedIndex;
+use crate::stats::IndexStats;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use csc_graph::bipartite::BipartiteGraph;
+use csc_graph::{DiGraph, OrderingStrategy, RankTable, VertexId};
+use csc_labeling::{LabelEntry, LabelSide, Labels};
+
+const MAGIC: &[u8; 8] = b"CSCIDX\x01\n";
+
+fn order_tag(o: OrderingStrategy) -> (u8, u64) {
+    match o {
+        OrderingStrategy::Degree => (0, 0),
+        OrderingStrategy::DegreeProduct => (1, 0),
+        OrderingStrategy::Identity => (2, 0),
+        OrderingStrategy::Random(seed) => (3, seed),
+    }
+}
+
+fn order_from_tag(tag: u8, seed: u64) -> Result<OrderingStrategy, CscError> {
+    Ok(match tag {
+        0 => OrderingStrategy::Degree,
+        1 => OrderingStrategy::DegreeProduct,
+        2 => OrderingStrategy::Identity,
+        3 => OrderingStrategy::Random(seed),
+        _ => return Err(CscError::Serial(format!("unknown ordering tag {tag}"))),
+    })
+}
+
+impl CscIndex {
+    /// Serializes the index to a byte buffer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a poisoned index — persisting a known-inconsistent index
+    /// would just defer the corruption to a future process.
+    pub fn to_bytes(&self) -> Result<Bytes, CscError> {
+        self.check_ready()?;
+        let n = self.original_vertex_count();
+        let m = self.original_edge_count();
+        let two_n = 2 * n;
+        let mut buf =
+            BytesMut::with_capacity(64 + m * 8 + two_n * 4 + self.total_entries() * 9);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(n as u32);
+        buf.put_u64_le(m as u64);
+        for (u, v) in self.original_edges() {
+            buf.put_u32_le(u.0);
+            buf.put_u32_le(v.0);
+        }
+        for rank in 0..two_n as u32 {
+            buf.put_u32_le(self.ranks.vertex_at_rank(rank).0);
+        }
+        let (tag, seed) = order_tag(self.config.order);
+        buf.put_u8(tag);
+        buf.put_u64_le(seed);
+        buf.put_u8(match self.config.update_strategy {
+            UpdateStrategy::Redundancy => 0,
+            UpdateStrategy::Minimality => 1,
+        });
+        buf.put_u8(self.config.maintain_inverted as u8);
+        for v in 0..two_n as u32 {
+            let v = VertexId(v);
+            for side in [LabelSide::In, LabelSide::Out] {
+                let list = self.labels.side_of(v, side);
+                buf.put_u32_le(list.len() as u32);
+                for e in list {
+                    buf.put_u64_le(e.raw());
+                }
+            }
+        }
+        Ok(buf.freeze())
+    }
+
+    /// Deserializes an index from bytes produced by
+    /// [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: &[u8]) -> Result<CscIndex, CscError> {
+        let mut buf = bytes;
+        let need = |buf: &[u8], n: usize, what: &str| -> Result<(), CscError> {
+            if buf.remaining() < n {
+                Err(CscError::Serial(format!("truncated input while reading {what}")))
+            } else {
+                Ok(())
+            }
+        };
+        need(buf, 8, "magic")?;
+        let mut magic = [0u8; 8];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(CscError::Serial("bad magic (not a CSC index)".into()));
+        }
+        need(buf, 12, "header")?;
+        let n = buf.get_u32_le() as usize;
+        let m = buf.get_u64_le() as usize;
+        need(buf, m * 8, "edge list")?;
+        let mut g = DiGraph::new(n);
+        for _ in 0..m {
+            let u = buf.get_u32_le();
+            let v = buf.get_u32_le();
+            g.try_add_edge(VertexId(u), VertexId(v))
+                .map_err(|e| CscError::Serial(format!("bad edge: {e}")))?;
+        }
+        let two_n = 2 * n;
+        need(buf, two_n * 4, "rank table")?;
+        let mut order = Vec::with_capacity(two_n);
+        for _ in 0..two_n {
+            order.push(VertexId(buf.get_u32_le()));
+        }
+        need(buf, 11, "config")?;
+        let tag = buf.get_u8();
+        let seed = buf.get_u64_le();
+        let strategy = match buf.get_u8() {
+            0 => UpdateStrategy::Redundancy,
+            1 => UpdateStrategy::Minimality,
+            other => {
+                return Err(CscError::Serial(format!("unknown update strategy {other}")))
+            }
+        };
+        let maintain_inverted = buf.get_u8() != 0;
+        let config = CscConfig {
+            order: order_from_tag(tag, seed)?,
+            update_strategy: strategy,
+            maintain_inverted,
+        };
+
+        let mut labels = Labels::new(two_n);
+        for v in 0..two_n as u32 {
+            let v = VertexId(v);
+            for side in [LabelSide::In, LabelSide::Out] {
+                need(buf, 4, "label length")?;
+                let len = buf.get_u32_le() as usize;
+                need(buf, len * 8, "label entries")?;
+                let mut prev: Option<u32> = None;
+                for _ in 0..len {
+                    let e = LabelEntry::from_raw(buf.get_u64_le());
+                    if prev.is_some_and(|p| p >= e.hub_rank()) {
+                        return Err(CscError::Serial(format!(
+                            "label list of vertex {v} is not sorted"
+                        )));
+                    }
+                    prev = Some(e.hub_rank());
+                    labels.append(v, side, e);
+                }
+            }
+        }
+        if buf.remaining() != 0 {
+            return Err(CscError::Serial(format!(
+                "{} trailing bytes after index",
+                buf.remaining()
+            )));
+        }
+
+        let ranks = if order.is_empty() {
+            RankTable::from_order(&[])
+        } else {
+            RankTable::from_order(&order)
+        };
+        let gb = BipartiteGraph::from_graph(&g);
+        let inverted = maintain_inverted.then(|| InvertedIndex::from_labels(&labels));
+        Ok(CscIndex {
+            gb,
+            ranks,
+            labels,
+            inverted,
+            config,
+            stats: IndexStats::default(),
+            poisoned: false,
+            workspace: CoupleBfs::new(two_n),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_index;
+    use csc_graph::fixtures::figure2;
+    use csc_graph::generators::gnm;
+
+    #[test]
+    fn roundtrip_static_index() {
+        let g = figure2();
+        let idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let bytes = idx.to_bytes().unwrap();
+        let back = CscIndex::from_bytes(&bytes).unwrap();
+        assert_eq!(back.labels(), idx.labels());
+        assert_eq!(back.ranks(), idx.ranks());
+        assert_eq!(back.config(), idx.config());
+        assert_eq!(back.original_graph(), g);
+        verify_index(&back).unwrap();
+    }
+
+    #[test]
+    fn roundtrip_after_updates_preserves_behaviour() {
+        let g = gnm(20, 60, 5);
+        let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let victims: Vec<_> = idx.original_edges().take(4).collect();
+        for (u, v) in &victims {
+            idx.remove_edge(*u, *v).unwrap();
+        }
+        for (u, v) in &victims {
+            idx.insert_edge(*u, *v).unwrap();
+        }
+        let bytes = idx.to_bytes().unwrap();
+        let back = CscIndex::from_bytes(&bytes).unwrap();
+        for v in 0..20u32 {
+            assert_eq!(back.query(VertexId(v)), idx.query(VertexId(v)));
+        }
+        // The restored index remains maintainable.
+        let mut back = back;
+        let (u, v) = victims[0];
+        back.remove_edge(u, v).unwrap();
+        verify_index(&back).unwrap();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            CscIndex::from_bytes(b"not an index"),
+            Err(CscError::Serial(_))
+        ));
+        assert!(matches!(
+            CscIndex::from_bytes(b""),
+            Err(CscError::Serial(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing_bytes() {
+        let g = figure2();
+        let idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let bytes = idx.to_bytes().unwrap();
+        for cut in [9, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                matches!(CscIndex::from_bytes(&bytes[..cut]), Err(CscError::Serial(_))),
+                "cut at {cut} must fail"
+            );
+        }
+        let mut extended = bytes.to_vec();
+        extended.push(0);
+        assert!(matches!(
+            CscIndex::from_bytes(&extended),
+            Err(CscError::Serial(_))
+        ));
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = DiGraph::new(0);
+        let idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let bytes = idx.to_bytes().unwrap();
+        let back = CscIndex::from_bytes(&bytes).unwrap();
+        assert_eq!(back.original_vertex_count(), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Index statistics and per-update reports.
+
+use csc_labeling::BuildStats;
+use std::time::Duration;
+
+/// Cumulative statistics for a [`CscIndex`](crate::CscIndex).
+#[derive(Clone, Debug, Default)]
+pub struct IndexStats {
+    /// Statistics of the initial construction.
+    pub build: BuildStats,
+    /// Number of edge insertions applied.
+    pub insertions: usize,
+    /// Number of edge deletions applied.
+    pub deletions: usize,
+    /// Net label entries added by incremental updates.
+    pub entries_added: usize,
+    /// Net label entries removed by updates (deletions and cleaning).
+    pub entries_removed: usize,
+    /// Label entries whose count saturated during updates.
+    pub saturated_counts: usize,
+}
+
+/// What one `insert_edge` / `remove_edge` call did — the measurements behind
+/// the paper's Figures 11(b) and 12(b).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Brand-new label entries inserted.
+    pub entries_inserted: usize,
+    /// Existing entries overwritten (shorter distance or added counts).
+    pub entries_updated: usize,
+    /// Entries removed (stale deletion, redundancy cleaning).
+    pub entries_removed: usize,
+    /// Affected hubs that started a maintenance traversal.
+    pub affected_hubs: usize,
+    /// Total vertices dequeued across all maintenance traversals.
+    pub vertices_visited: usize,
+    /// Wall-clock time of the update.
+    pub duration: Duration,
+}
+
+impl UpdateReport {
+    /// Net change in index entry count.
+    pub fn net_entries(&self) -> isize {
+        self.entries_inserted as isize - self.entries_removed as isize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_entries_signs() {
+        let r = UpdateReport {
+            entries_inserted: 5,
+            entries_removed: 8,
+            ..Default::default()
+        };
+        assert_eq!(r.net_entries(), -3);
+        let r = UpdateReport {
+            entries_inserted: 8,
+            entries_removed: 5,
+            ..Default::default()
+        };
+        assert_eq!(r.net_entries(), 3);
+    }
+}

@@ -1,0 +1,180 @@
+//! Expensive whole-index invariant checking, for tests and debugging.
+//!
+//! [`verify_index`] cross-checks a [`CscIndex`] against brute-force BFS
+//! oracles. It is `O(n * (n + m))` and meant for test-sized graphs; the
+//! property-test suites run it after every mutation batch.
+
+use crate::config::UpdateStrategy;
+use crate::index::CscIndex;
+use csc_graph::bipartite::is_in_vertex;
+use csc_graph::traversal::{bfs_distances, shortest_cycle_oracle};
+use csc_graph::DiGraph;
+
+impl CscIndex {
+    /// Reconstructs the original (non-bipartite) graph from the index.
+    pub fn original_graph(&self) -> DiGraph {
+        let mut g = DiGraph::new(self.original_vertex_count());
+        for (u, v) in self.original_edges() {
+            g.try_add_edge(u, v).expect("index edges are valid");
+        }
+        g
+    }
+}
+
+/// Checks every structural and semantic invariant of the index:
+///
+/// 1. the bipartite graph is structurally valid;
+/// 2. label lists are sorted and duplicate-free;
+/// 3. the inverted indexes (if maintained) mirror the labels exactly;
+/// 4. every non-self label hub is an incoming vertex;
+/// 5. no label entry under-estimates a true distance, and under the
+///    minimality strategy no entry over-estimates one either;
+/// 6. every `SCCnt` query matches the brute-force oracle.
+///
+/// Returns a description of the first violation found.
+pub fn verify_index(index: &CscIndex) -> Result<(), String> {
+    index.bipartite().validate()?;
+    index.labels().validate_sorted()?;
+    if let Some(inv) = index.inverted.as_ref() {
+        inv.validate_against(index.labels())?;
+        if inv.total_entries() != index.labels().total_entries() {
+            return Err("inverted entry count diverges from label entry count".into());
+        }
+        if inv.rank_count() != index.ranks().len() {
+            return Err("inverted index rank count diverges from rank table".into());
+        }
+    }
+
+    let gb = index.bipartite().graph();
+    let ranks = index.ranks();
+    let minimal = index.config().update_strategy == UpdateStrategy::Minimality
+        && index.stats().insertions + index.stats().deletions > 0;
+
+    // Per-hub forward/backward BFS gives exact distances for invariant 5.
+    for hub_rank in 0..ranks.len() as u32 {
+        let hub = ranks.vertex_at_rank(hub_rank);
+        let fwd = bfs_distances(gb, hub);
+        let bwd = csc_graph::traversal::bfs_distances_dir(gb, hub, false);
+        for v in gb.vertices() {
+            if let Some(e) = index.labels().entry_for(v, csc_labeling::LabelSide::In, hub_rank)
+            {
+                if !is_in_vertex(hub) && hub != v {
+                    return Err(format!("V_out vertex {hub} is a hub of Lin({v})"));
+                }
+                match fwd[v.index()] {
+                    None => {
+                        return Err(format!(
+                            "Lin({v}) entry for unreachable hub {hub} (d={})",
+                            e.dist()
+                        ))
+                    }
+                    Some(sd) if e.dist() < sd => {
+                        return Err(format!(
+                            "Lin({v}) hub {hub}: stored {} < true {sd}",
+                            e.dist()
+                        ))
+                    }
+                    Some(sd) if minimal && e.dist() > sd => {
+                        return Err(format!(
+                            "minimality violated: Lin({v}) hub {hub}: stored {} > true {sd}",
+                            e.dist()
+                        ))
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(e) =
+                index.labels().entry_for(v, csc_labeling::LabelSide::Out, hub_rank)
+            {
+                if !is_in_vertex(hub) && hub != v {
+                    return Err(format!("V_out vertex {hub} is a hub of Lout({v})"));
+                }
+                match bwd[v.index()] {
+                    None => {
+                        return Err(format!(
+                            "Lout({v}) entry for hub {hub} that cannot be reached (d={})",
+                            e.dist()
+                        ))
+                    }
+                    Some(sd) if e.dist() < sd => {
+                        return Err(format!(
+                            "Lout({v}) hub {hub}: stored {} < true {sd}",
+                            e.dist()
+                        ))
+                    }
+                    Some(sd) if minimal && e.dist() > sd => {
+                        return Err(format!(
+                            "minimality violated: Lout({v}) hub {hub}: stored {} > true {sd}",
+                            e.dist()
+                        ))
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // Invariant 6: query equivalence with the oracle.
+    let g = index.original_graph();
+    for v in g.vertices() {
+        let got = index.query(v).map(|c| (c.length, c.count));
+        let want = shortest_cycle_oracle(&g, v);
+        if got != want {
+            return Err(format!("SCCnt({v}): index says {got:?}, oracle says {want:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CscConfig;
+    use csc_graph::generators::{gnm, preferential_attachment};
+    use csc_graph::VertexId;
+
+    #[test]
+    fn fresh_indexes_verify() {
+        for seed in 0..3 {
+            let g = gnm(20, 60, seed);
+            let idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+            verify_index(&idx).unwrap();
+        }
+        let g = preferential_attachment(40, 2, 0.6, 5);
+        let idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        verify_index(&idx).unwrap();
+    }
+
+    #[test]
+    fn verification_survives_update_storms() {
+        let mut g = gnm(16, 40, 8);
+        let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        // Remove five edges, insert five fresh ones, verifying throughout.
+        let victims: Vec<_> = g.edge_vec().into_iter().take(5).collect();
+        for (u, w) in victims {
+            g.try_remove_edge(VertexId(u), VertexId(w)).unwrap();
+            idx.remove_edge(VertexId(u), VertexId(w)).unwrap();
+            verify_index(&idx).unwrap();
+        }
+        let mut s = 99u64;
+        let mut added = 0;
+        while added < 5 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = VertexId((s >> 33) as u32 % 16);
+            let b = VertexId((s >> 11) as u32 % 16);
+            if a != b && !g.has_edge(a, b) {
+                g.try_add_edge(a, b).unwrap();
+                idx.insert_edge(a, b).unwrap();
+                verify_index(&idx).unwrap();
+                added += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn original_graph_roundtrip() {
+        let g = gnm(12, 30, 1);
+        let idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        assert_eq!(idx.original_graph(), g);
+    }
+}

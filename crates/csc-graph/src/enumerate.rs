@@ -1,0 +1,240 @@
+//! Shortest-cycle enumeration and ego subgraphs.
+//!
+//! Counting answers "how many"; investigations then ask "show me". The
+//! paper's case study (Figure 13) lists all shortest cycles through a
+//! suspicious account and renders its neighborhood — this module provides
+//! both primitives. Enumeration is deliberately output-sensitive-ish
+//! (backtracking over BFS distance layers), and doubles as a hard oracle:
+//! the number of enumerated cycles must equal `SCCnt`, which the test
+//! suites exploit.
+
+use crate::digraph::DiGraph;
+use crate::traversal::{bfs_distances, bfs_distances_dir};
+use crate::vertex::VertexId;
+
+/// Enumerates the shortest cycles through `v`, up to `limit` cycles.
+///
+/// Each cycle is returned as a vertex sequence starting (and implicitly
+/// ending) at `v`: `[v, w, x, ...]` encodes `v -> w -> x -> ... -> v`.
+/// Returns an empty vector if no cycle passes through `v`.
+///
+/// Cost: one backward BFS plus `O(length)` work per emitted edge of the
+/// shortest-path DAG — fine for investigation-sized outputs; use
+/// counting (`csc-core`) for bulk screening.
+pub fn enumerate_shortest_cycles(g: &DiGraph, v: VertexId, limit: usize) -> Vec<Vec<VertexId>> {
+    if limit == 0 {
+        return Vec::new();
+    }
+    // dist_back[u] = sd(u, v): distances *to* v.
+    let dist_back = bfs_distances_dir(g, v, false);
+    // The shortest cycle length = 1 + min over out-neighbors w of sd(w, v).
+    let mut best: Option<u32> = None;
+    for &w in g.nbr_out(v) {
+        if let Some(d) = dist_back[w as usize] {
+            best = Some(best.map_or(d + 1, |b: u32| b.min(d + 1)));
+        }
+    }
+    let Some(cycle_len) = best else {
+        return Vec::new();
+    };
+
+    // Depth-first expansion along the shortest-path DAG towards v: from a
+    // vertex u at remaining budget r, every out-neighbor x with
+    // sd(x, v) == r - 1 extends a shortest cycle.
+    let mut cycles = Vec::new();
+    let mut path = vec![v];
+    let mut stack: Vec<(VertexId, u32)> = Vec::new(); // (vertex, remaining)
+    fn dfs(
+        g: &DiGraph,
+        v: VertexId,
+        dist_back: &[Option<u32>],
+        path: &mut Vec<VertexId>,
+        cycles: &mut Vec<Vec<VertexId>>,
+        limit: usize,
+        u: VertexId,
+        remaining: u32,
+    ) {
+        if cycles.len() >= limit {
+            return;
+        }
+        if remaining == 0 {
+            debug_assert_eq!(u, v);
+            cycles.push(path.clone());
+            return;
+        }
+        for &x in g.nbr_out(u) {
+            if cycles.len() >= limit {
+                return;
+            }
+            let x = VertexId(x);
+            let on_shortest = if x == v {
+                remaining == 1
+            } else {
+                dist_back[x.index()] == Some(remaining - 1)
+            };
+            if on_shortest && x != v {
+                path.push(x);
+                dfs(g, v, dist_back, path, cycles, limit, x, remaining - 1);
+                path.pop();
+            } else if on_shortest {
+                dfs(g, v, dist_back, path, cycles, limit, x, remaining - 1);
+            }
+        }
+    }
+    let _ = &mut stack;
+    dfs(g, v, &dist_back, &mut path, &mut cycles, limit, v, cycle_len);
+    cycles
+}
+
+/// The girth of the graph: the globally shortest cycle length and how many
+/// vertices realize it (useful for Table-IV-style dataset profiles).
+///
+/// `None` for acyclic graphs. Cost `O(n * (n + m))` — analysis-time only.
+pub fn girth(g: &DiGraph) -> Option<(u32, usize)> {
+    let mut best: Option<u32> = None;
+    let mut realizers = 0usize;
+    for v in g.vertices() {
+        if let Some((len, _)) = crate::traversal::shortest_cycle_oracle(g, v) {
+            match best {
+                None => {
+                    best = Some(len);
+                    realizers = 1;
+                }
+                Some(b) if len < b => {
+                    best = Some(len);
+                    realizers = 1;
+                }
+                Some(b) if len == b => realizers += 1,
+                _ => {}
+            }
+        }
+    }
+    best.map(|b| (b, realizers))
+}
+
+/// Extracts the ego subgraph of radius `radius` around `center` (both edge
+/// directions), with a dense re-numbering. Returns the subgraph and the
+/// mapping `sub id -> original id`; the center maps to sub id 0.
+///
+/// This is the "subgraph centering at vertex 169" view of Figure 13.
+pub fn ego_subgraph(g: &DiGraph, center: VertexId, radius: u32) -> (DiGraph, Vec<VertexId>) {
+    let fwd = bfs_distances(g, center);
+    let bwd = bfs_distances_dir(g, center, false);
+    let mut members: Vec<u32> = Vec::new();
+    for v in g.vertices() {
+        let near = fwd[v.index()].is_some_and(|d| d <= radius)
+            || bwd[v.index()].is_some_and(|d| d <= radius);
+        if near {
+            members.push(v.0);
+        }
+    }
+    // The center first, the rest in id order.
+    members.retain(|&u| u != center.0);
+    members.insert(0, center.0);
+    let mut sub_id = vec![u32::MAX; g.vertex_count()];
+    for (i, &u) in members.iter().enumerate() {
+        sub_id[u as usize] = i as u32;
+    }
+    let mut sub = DiGraph::new(members.len());
+    for &u in &members {
+        for &w in g.nbr_out(VertexId(u)) {
+            if sub_id[w as usize] != u32::MAX {
+                sub.try_add_edge(VertexId(sub_id[u as usize]), VertexId(sub_id[w as usize]))
+                    .expect("subgraph edges are valid");
+            }
+        }
+    }
+    (sub, members.into_iter().map(VertexId).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure2, pv};
+    use crate::generators::{directed_cycle, gnm, layered_cycle};
+    use crate::traversal::shortest_cycle_oracle;
+
+    #[test]
+    fn enumeration_matches_example_1() {
+        // SCCnt(v7) = 3 cycles of length 6; enumerate and check each.
+        let g = figure2();
+        let cycles = enumerate_shortest_cycles(&g, pv(7), 100);
+        assert_eq!(cycles.len(), 3);
+        for c in &cycles {
+            assert_eq!(c.len(), 6, "cycle {c:?} has length 6");
+            assert_eq!(c[0], pv(7));
+            // Every hop is an edge; the wrap-around closes the cycle.
+            for w in c.windows(2) {
+                assert!(g.has_edge(w[0], w[1]), "missing edge in {c:?}");
+            }
+            assert!(g.has_edge(*c.last().unwrap(), c[0]));
+            // Simple: no repeated vertices.
+            let mut seen = c.clone();
+            seen.sort();
+            seen.dedup();
+            assert_eq!(seen.len(), c.len(), "cycle {c:?} repeats a vertex");
+        }
+    }
+
+    #[test]
+    fn enumeration_count_equals_oracle_on_random_graphs() {
+        for seed in 0..6 {
+            let g = gnm(25, 80, seed);
+            for v in g.vertices() {
+                let cycles = enumerate_shortest_cycles(&g, v, usize::MAX);
+                match shortest_cycle_oracle(&g, v) {
+                    None => assert!(cycles.is_empty()),
+                    Some((len, count)) => {
+                        assert_eq!(cycles.len() as u64, count, "count at {v}");
+                        assert!(cycles.iter().all(|c| c.len() as u32 == len));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_respects_limit() {
+        let g = layered_cycle(&[1, 4, 4]); // 16 shortest cycles through 0
+        let all = enumerate_shortest_cycles(&g, VertexId(0), usize::MAX);
+        assert_eq!(all.len(), 16);
+        let some = enumerate_shortest_cycles(&g, VertexId(0), 5);
+        assert_eq!(some.len(), 5);
+        assert!(enumerate_shortest_cycles(&g, VertexId(0), 0).is_empty());
+    }
+
+    #[test]
+    fn girth_of_families() {
+        assert_eq!(girth(&directed_cycle(7)), Some((7, 7)));
+        let dag = crate::generators::directed_path(5);
+        assert_eq!(girth(&dag), None);
+        // Figure 2's girth is 6 (every vertex's shortest cycle has length 6
+        // except those not on cycles at all).
+        let (len, realizers) = girth(&figure2()).unwrap();
+        assert_eq!(len, 6);
+        assert!(realizers >= 6);
+    }
+
+    #[test]
+    fn ego_subgraph_centers_and_maps_back() {
+        let g = figure2();
+        let (sub, mapping) = ego_subgraph(&g, pv(7), 1);
+        assert_eq!(mapping[0], pv(7));
+        // Radius 1 around v7: in-neighbors {v4,v5,v6} + out-neighbor {v8}.
+        assert_eq!(sub.vertex_count(), 5);
+        // Edges among members survive with remapped ids.
+        for (u, w) in sub.edges() {
+            assert!(g.has_edge(mapping[u.index()], mapping[w.index()]));
+        }
+        assert_eq!(sub.in_degree(VertexId(0)), 3);
+        assert_eq!(sub.out_degree(VertexId(0)), 1);
+    }
+
+    #[test]
+    fn ego_subgraph_full_radius_is_weak_component() {
+        let g = figure2();
+        let (sub, _) = ego_subgraph(&g, pv(1), 100);
+        assert_eq!(sub.vertex_count(), g.vertex_count());
+        assert_eq!(sub.edge_count(), g.edge_count());
+    }
+}

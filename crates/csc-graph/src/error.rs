@@ -1,0 +1,98 @@
+//! Error types for graph construction and mutation.
+
+use crate::vertex::VertexId;
+use std::fmt;
+
+/// Errors produced by graph construction, mutation, and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex id was outside `0..n`.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: VertexId,
+        /// The number of vertices in the graph.
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was rejected.
+    ///
+    /// The paper's evaluation graphs "are directed and have no self-loop";
+    /// self-loops would also map to length-1 bipartite paths, which are not
+    /// cycles under any of the paper's definitions.
+    SelfLoop(VertexId),
+    /// The edge already exists (the substrate maintains simple graphs).
+    DuplicateEdge(VertexId, VertexId),
+    /// The edge to be removed does not exist.
+    MissingEdge(VertexId, VertexId),
+    /// The graph exceeds a capacity limit of the labeling layers.
+    TooLarge {
+        /// What overflowed (e.g. "vertices").
+        what: &'static str,
+        /// The observed quantity.
+        got: usize,
+        /// The maximum supported quantity.
+        max: usize,
+    },
+    /// A parse error while reading an edge-list file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+    /// An underlying I/O error, carried as a string for `Clone`/`Eq`.
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range (graph has {n} vertices)")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop on vertex {v} is not allowed"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "edge ({u}, {v}) already exists"),
+            GraphError::MissingEdge(u, v) => write!(f, "edge ({u}, {v}) does not exist"),
+            GraphError::TooLarge { what, got, max } => {
+                write!(f, "too many {what}: {got} (maximum supported: {max})")
+            }
+            GraphError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::SelfLoop(VertexId(3));
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::VertexOutOfRange {
+            vertex: VertexId(9),
+            n: 5,
+        };
+        assert!(e.to_string().contains("out of range"));
+        let e = GraphError::Parse {
+            line: 12,
+            msg: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+    }
+}

@@ -1,0 +1,89 @@
+//! Worked examples from the paper, used as executable documentation and as
+//! unit-test fixtures across the workspace.
+
+use crate::digraph::DiGraph;
+use crate::vertex::VertexId;
+
+/// Converts a 1-based paper vertex index (`v1..v10`) to a [`VertexId`].
+///
+/// The paper numbers vertices from 1; the substrate uses dense 0-based ids.
+#[inline]
+pub fn pv(paper_index: u32) -> VertexId {
+    assert!(paper_index >= 1, "paper vertices are 1-based");
+    VertexId(paper_index - 1)
+}
+
+/// The directed graph of the paper's Figure 2 (10 vertices, 13 edges).
+///
+/// Edge set reconstructed from the labels of Table II and Examples 1-6:
+/// `v1->{v3,v4,v5}`, `v2->v4`, `v3->v6`, `{v4,v5,v6}->v7`, `v7->v8`,
+/// `v8->v9`, `v9->v10`, `v10->{v1,v2}`. The graph's distinguishing feature
+/// is the three shortest cycles of length 6 through `v7` (Example 1).
+pub fn figure2() -> DiGraph {
+    let edges = [
+        (1, 3),
+        (1, 4),
+        (1, 5),
+        (2, 4),
+        (3, 6),
+        (4, 7),
+        (5, 7),
+        (6, 7),
+        (7, 8),
+        (8, 9),
+        (9, 10),
+        (10, 1),
+        (10, 2),
+    ];
+    let mut g = DiGraph::new(10);
+    for (u, w) in edges {
+        g.try_add_edge(pv(u), pv(w)).expect("fixture edges are valid");
+    }
+    g
+}
+
+/// The total vertex order of Example 4 (highest rank first):
+/// `v1 < v7 < v4 < v10 < v2 < v3 < v5 < v6 < v8 < v9`.
+///
+/// This is the degree order (total degree descending, vertex id ascending
+/// on ties) of [`figure2`]; the paper's Table II labels are produced under
+/// exactly this order.
+pub fn figure2_order() -> Vec<VertexId> {
+    [1, 7, 4, 10, 2, 3, 5, 6, 8, 9].iter().map(|&i| pv(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::{OrderingStrategy, RankTable};
+
+    #[test]
+    fn figure2_shape() {
+        let g = figure2();
+        assert_eq!(g.vertex_count(), 10);
+        assert_eq!(g.edge_count(), 13);
+        g.validate().unwrap();
+        // Example 3: v7's in-neighbors are {v4, v5, v6}.
+        assert_eq!(g.nbr_in(pv(7)), &[pv(4).0, pv(5).0, pv(6).0]);
+    }
+
+    #[test]
+    fn example_4_order_is_degree_order() {
+        let g = figure2();
+        let ranks = RankTable::build(&g, OrderingStrategy::Degree);
+        let expected = figure2_order();
+        for (rank, &v) in expected.iter().enumerate() {
+            assert_eq!(
+                ranks.vertex_at_rank(rank as u32),
+                v,
+                "rank {rank} should be {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn pv_rejects_zero() {
+        pv(0);
+    }
+}

@@ -1,0 +1,213 @@
+//! SNAP-style edge-list text I/O.
+//!
+//! The paper's datasets ship as whitespace-separated `source target` lines
+//! with `#` comment headers (SNAP) or `%` headers (Konect). This module
+//! reads both, remaps arbitrary vertex ids to a dense `0..n` range, and can
+//! write graphs back out for interchange with the original C++ tooling.
+
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Result of parsing an edge list: the graph plus the dense-id mapping.
+#[derive(Clone, Debug)]
+pub struct LoadedGraph {
+    /// The parsed graph over dense ids `0..n`.
+    pub graph: DiGraph,
+    /// `original_ids[dense] = id as it appeared in the file`.
+    pub original_ids: Vec<u64>,
+    /// Number of self-loops skipped.
+    pub skipped_self_loops: usize,
+    /// Number of duplicate edges skipped.
+    pub skipped_duplicates: usize,
+}
+
+/// Parses an edge list from a reader. Lines starting with `#` or `%` and
+/// blank lines are ignored; each remaining line must contain two integer
+/// ids separated by whitespace (extra columns — e.g. Konect timestamps —
+/// are ignored). Self-loops and duplicates are skipped and counted.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<LoadedGraph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut id_map: HashMap<u64, u32> = HashMap::new();
+    let mut original_ids: Vec<u64> = Vec::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut skipped_self_loops = 0;
+
+    let mut intern = |raw: u64, original_ids: &mut Vec<u64>| -> u32 {
+        *id_map.entry(raw).or_insert_with(|| {
+            original_ids.push(raw);
+            (original_ids.len() - 1) as u32
+        })
+    };
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>, lineno: usize| -> Result<u64, GraphError> {
+            let tok = tok.ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                msg: "expected two integer ids".into(),
+            })?;
+            tok.parse::<u64>().map_err(|_| GraphError::Parse {
+                line: lineno + 1,
+                msg: format!("not an integer id: {tok:?}"),
+            })
+        };
+        let u = parse(parts.next(), lineno)?;
+        let v = parse(parts.next(), lineno)?;
+        if u == v {
+            skipped_self_loops += 1;
+            continue;
+        }
+        let ud = intern(u, &mut original_ids);
+        let vd = intern(v, &mut original_ids);
+        edges.push((ud, vd));
+    }
+
+    let total = edges.len();
+    let graph = DiGraph::from_edges(original_ids.len(), edges);
+    Ok(LoadedGraph {
+        skipped_duplicates: total - graph.edge_count(),
+        graph,
+        original_ids,
+        skipped_self_loops,
+    })
+}
+
+/// Loads an edge list from a file path.
+pub fn load_edge_list(path: impl AsRef<Path>) -> Result<LoadedGraph, GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file)
+}
+
+/// Writes `g` as a SNAP-style edge list (with a comment header).
+pub fn write_edge_list<W: Write>(g: &DiGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# Directed graph: {} vertices, {} edges",
+        g.vertex_count(),
+        g.edge_count()
+    )?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Saves `g` to a file path as an edge list.
+pub fn save_edge_list(g: &DiGraph, path: impl AsRef<Path>) -> Result<(), GraphError> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(g, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::gnm;
+
+    #[test]
+    fn parses_snap_format_with_comments() {
+        let text = "# Directed graph\n# Nodes: 4 Edges: 4\n0\t1\n1\t2\n2 3\n3 0\n";
+        let loaded = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.vertex_count(), 4);
+        assert_eq!(loaded.graph.edge_count(), 4);
+        assert_eq!(loaded.skipped_self_loops, 0);
+        assert_eq!(loaded.skipped_duplicates, 0);
+    }
+
+    #[test]
+    fn parses_konect_format_with_extra_columns() {
+        let text = "% sym unweighted\n5 9 1 1300000\n9 5 1 1300001\n";
+        let loaded = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.vertex_count(), 2);
+        assert_eq!(loaded.graph.edge_count(), 2);
+        assert_eq!(loaded.original_ids, vec![5, 9]);
+    }
+
+    #[test]
+    fn remaps_sparse_ids_densely() {
+        let text = "1000000 5\n5 70\n70 1000000\n";
+        let loaded = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.vertex_count(), 3);
+        assert_eq!(loaded.original_ids, vec![1000000, 5, 70]);
+        assert_eq!(loaded.graph.edge_count(), 3);
+    }
+
+    #[test]
+    fn skips_self_loops_and_duplicates() {
+        let text = "0 0\n0 1\n0 1\n1 0\n";
+        let loaded = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(loaded.graph.edge_count(), 2);
+        assert_eq!(loaded.skipped_self_loops, 1);
+        assert_eq!(loaded.skipped_duplicates, 1);
+    }
+
+    #[test]
+    fn reports_parse_errors_with_line_numbers() {
+        let text = "0 1\nbogus line\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+        let text = "0\n";
+        assert!(matches!(
+            read_edge_list(text.as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let g = gnm(50, 200, 9);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let loaded = read_edge_list(&buf[..]).unwrap();
+        // Ids were already dense and appear in edge order, so the roundtrip
+        // may permute ids; compare canonical forms via original id mapping.
+        assert_eq!(loaded.graph.edge_count(), g.edge_count());
+        let mut orig: Vec<(u64, u64)> = loaded
+            .graph
+            .edges()
+            .map(|(u, v)| {
+                (
+                    loaded.original_ids[u.index()],
+                    loaded.original_ids[v.index()],
+                )
+            })
+            .collect();
+        orig.sort_unstable();
+        let mut expect: Vec<(u64, u64)> =
+            g.edges().map(|(u, v)| (u.0 as u64, v.0 as u64)).collect();
+        expect.sort_unstable();
+        assert_eq!(orig, expect);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("csc-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        let g = gnm(20, 60, 4);
+        save_edge_list(&g, &path).unwrap();
+        let loaded = load_edge_list(&path).unwrap();
+        assert_eq!(loaded.graph.edge_count(), 60);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load_edge_list("/definitely/not/here.txt"),
+            Err(GraphError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,239 @@
+//! Total vertex orders (ranks) for the labeling cover constraint.
+//!
+//! Hub labeling requires a total order `<` over vertices; a label `(v, d, c)`
+//! is only ever stored at vertices ranked *below* `v`. Orders that put
+//! "central" vertices first produce dramatically smaller indexes, and the
+//! paper (Example 4) uses the classic degree order. Ranks are dense `u32`s
+//! with **smaller rank = higher importance**.
+
+use crate::digraph::DiGraph;
+use crate::vertex::VertexId;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A rank (position in the total order); rank 0 is the most important hub.
+pub type Rank = u32;
+
+/// Strategy for computing the total vertex order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Default)]
+pub enum OrderingStrategy {
+    /// Total degree (in + out) descending, vertex id ascending on ties.
+    /// This is the paper's order (Example 4) and the default.
+    #[default]
+    Degree,
+    /// `(in_degree + 1) * (out_degree + 1)` descending — favors vertices
+    /// that lie on many through-paths; a common PLL variant.
+    DegreeProduct,
+    /// Vertex id order. Deterministic and cheap; useful for tests.
+    Identity,
+    /// A seeded random permutation. Exists to let property tests confirm
+    /// that correctness is order-independent (index *size* is not).
+    Random(u64),
+}
+
+
+/// A bijection between vertices and ranks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankTable {
+    rank_of: Vec<Rank>,
+    vertex_at: Vec<u32>,
+}
+
+impl RankTable {
+    /// Computes the order of `g` under `strategy`.
+    pub fn build(g: &DiGraph, strategy: OrderingStrategy) -> Self {
+        let n = g.vertex_count();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        match strategy {
+            OrderingStrategy::Degree => {
+                order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(VertexId(v))), v));
+            }
+            OrderingStrategy::DegreeProduct => {
+                order.sort_by_key(|&v| {
+                    let key = (g.in_degree(VertexId(v)) as u64 + 1)
+                        * (g.out_degree(VertexId(v)) as u64 + 1);
+                    (std::cmp::Reverse(key), v)
+                });
+            }
+            OrderingStrategy::Identity => {}
+            OrderingStrategy::Random(seed) => {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                order.shuffle(&mut rng);
+            }
+        }
+        Self::from_order_ids(order)
+    }
+
+    /// Builds a table from an explicit order (highest rank first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..n`.
+    pub fn from_order(order: &[VertexId]) -> Self {
+        Self::from_order_ids(order.iter().map(|v| v.0).collect())
+    }
+
+    fn from_order_ids(vertex_at: Vec<u32>) -> Self {
+        let n = vertex_at.len();
+        let mut rank_of = vec![u32::MAX; n];
+        for (rank, &v) in vertex_at.iter().enumerate() {
+            assert!((v as usize) < n, "order contains out-of-range vertex {v}");
+            assert!(
+                rank_of[v as usize] == u32::MAX,
+                "order contains vertex {v} twice"
+            );
+            rank_of[v as usize] = rank as u32;
+        }
+        RankTable { rank_of, vertex_at }
+    }
+
+    /// Number of ranked vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertex_at.len()
+    }
+
+    /// `true` if the table is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertex_at.is_empty()
+    }
+
+    /// The rank of `v` (0 = most important).
+    #[inline]
+    pub fn rank(&self, v: VertexId) -> Rank {
+        self.rank_of[v.index()]
+    }
+
+    /// The vertex occupying `rank`.
+    #[inline]
+    pub fn vertex_at_rank(&self, rank: Rank) -> VertexId {
+        VertexId(self.vertex_at[rank as usize])
+    }
+
+    /// `true` if `a` strictly outranks `b` (the paper's `a < b`).
+    #[inline]
+    pub fn outranks(&self, a: VertexId, b: VertexId) -> bool {
+        self.rank_of[a.index()] < self.rank_of[b.index()]
+    }
+
+    /// Iterates vertices from highest to lowest rank.
+    pub fn by_rank(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertex_at.iter().map(|&v| VertexId(v))
+    }
+
+    /// Derives the bipartite-graph order from an original-graph order.
+    ///
+    /// Couple `(v_i, v_o)` of the original vertex at rank `k` occupies ranks
+    /// `2k` (`v_i`) and `2k + 1` (`v_o`): couples are consecutive with `v_i`
+    /// on top, exactly the precondition of couple-vertex skipping
+    /// (Section IV-B).
+    pub fn bipartite_order(&self) -> RankTable {
+        let mut vertex_at = Vec::with_capacity(self.vertex_at.len() * 2);
+        for &v in &self.vertex_at {
+            vertex_at.push(2 * v); // v_i
+            vertex_at.push(2 * v + 1); // v_o
+        }
+        Self::from_order_ids(vertex_at)
+    }
+
+    /// Extends the order with a fresh lowest-ranked vertex (dynamic graphs
+    /// grow; new vertices join at the bottom of the order).
+    pub fn push_lowest(&mut self) {
+        let v = self.rank_of.len() as u32;
+        self.rank_of.push(self.vertex_at.len() as u32);
+        self.vertex_at.push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star() -> DiGraph {
+        // 0 is the hub of a star: high degree.
+        DiGraph::from_edges(5, vec![(0, 1), (0, 2), (0, 3), (4, 0)])
+    }
+
+    #[test]
+    fn degree_order_puts_hub_first() {
+        let ranks = RankTable::build(&star(), OrderingStrategy::Degree);
+        assert_eq!(ranks.vertex_at_rank(0), VertexId(0));
+        assert_eq!(ranks.rank(VertexId(0)), 0);
+        assert!(ranks.outranks(VertexId(0), VertexId(3)));
+    }
+
+    #[test]
+    fn ties_break_by_vertex_id() {
+        // Vertices 1, 2, 3 all have degree 1.
+        let ranks = RankTable::build(&star(), OrderingStrategy::Degree);
+        assert!(ranks.outranks(VertexId(1), VertexId(2)));
+        assert!(ranks.outranks(VertexId(2), VertexId(3)));
+    }
+
+    #[test]
+    fn identity_order() {
+        let ranks = RankTable::build(&star(), OrderingStrategy::Identity);
+        for i in 0..5u32 {
+            assert_eq!(ranks.rank(VertexId(i)), i);
+            assert_eq!(ranks.vertex_at_rank(i), VertexId(i));
+        }
+    }
+
+    #[test]
+    fn random_order_is_a_seeded_permutation() {
+        let a = RankTable::build(&star(), OrderingStrategy::Random(7));
+        let b = RankTable::build(&star(), OrderingStrategy::Random(7));
+        let c = RankTable::build(&star(), OrderingStrategy::Random(8));
+        assert_eq!(a, b, "same seed, same order");
+        assert_eq!(a.len(), 5);
+        // All vertices present exactly once.
+        let mut seen: Vec<u32> = a.by_rank().map(|v| v.0).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        // Different seed almost surely differs on 5 elements; don't assert
+        // inequality strictly — just that it is a valid permutation.
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn degree_product_prefers_through_vertices() {
+        // 1 -> 0 -> 2 : vertex 0 has in*out product 4; 3 has degree 2 both out.
+        let g = DiGraph::from_edges(4, vec![(1, 0), (0, 2), (3, 1), (3, 2)]);
+        let ranks = RankTable::build(&g, OrderingStrategy::DegreeProduct);
+        assert_eq!(ranks.vertex_at_rank(0), VertexId(0));
+    }
+
+    #[test]
+    fn bipartite_order_interleaves_couples() {
+        let g = star();
+        let ranks = RankTable::build(&g, OrderingStrategy::Degree);
+        let b = ranks.bipartite_order();
+        assert_eq!(b.len(), 10);
+        // Original rank 0 is vertex 0 -> bipartite ranks 0, 1 are (0_i, 0_o).
+        assert_eq!(b.vertex_at_rank(0), VertexId(0)); // 0_i
+        assert_eq!(b.vertex_at_rank(1), VertexId(1)); // 0_o
+        for k in 0..5u32 {
+            let vi = b.vertex_at_rank(2 * k);
+            let vo = b.vertex_at_rank(2 * k + 1);
+            assert_eq!(vo.0, vi.0 + 1, "couples stay adjacent");
+            assert!(b.outranks(vi, vo));
+        }
+    }
+
+    #[test]
+    fn push_lowest_appends() {
+        let mut ranks = RankTable::build(&star(), OrderingStrategy::Degree);
+        ranks.push_lowest();
+        assert_eq!(ranks.len(), 6);
+        assert_eq!(ranks.rank(VertexId(5)), 5);
+        assert_eq!(ranks.vertex_at_rank(5), VertexId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn duplicate_order_panics() {
+        RankTable::from_order(&[VertexId(0), VertexId(0)]);
+    }
+}

@@ -1,0 +1,286 @@
+//! Structural statistics: degree distributions, components, and the degree
+//! clusters used by the paper's query-time experiments.
+
+use crate::digraph::DiGraph;
+use crate::vertex::VertexId;
+
+/// Summary statistics for a graph (the rows of the paper's Table IV, plus
+/// degree information used elsewhere in the evaluation).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of edges.
+    pub m: usize,
+    /// Average out-degree (`m / n`) — the paper's `s_f`.
+    pub avg_out_degree: f64,
+    /// Maximum total degree.
+    pub max_degree: usize,
+    /// Maximum `min(in, out)` degree — the clustering key's range.
+    pub max_min_in_out_degree: usize,
+    /// Number of weakly connected components.
+    pub weak_components: usize,
+    /// Number of strongly connected components.
+    pub strong_components: usize,
+}
+
+/// Computes [`GraphStats`] for `g`.
+pub fn stats(g: &DiGraph) -> GraphStats {
+    let n = g.vertex_count();
+    let m = g.edge_count();
+    GraphStats {
+        n,
+        m,
+        avg_out_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+        max_degree: g.vertices().map(|v| g.degree(v)).max().unwrap_or(0),
+        max_min_in_out_degree: g
+            .vertices()
+            .map(|v| g.min_in_out_degree(v))
+            .max()
+            .unwrap_or(0),
+        weak_components: weakly_connected_components(g),
+        strong_components: strongly_connected_components(g).1,
+    }
+}
+
+/// Number of weakly connected components (union-find over undirected edges).
+pub fn weakly_connected_components(g: &DiGraph) -> usize {
+    let n = g.vertex_count();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for (u, v) in g.edges() {
+        let (ru, rv) = (find(&mut parent, u.0), find(&mut parent, v.0));
+        if ru != rv {
+            parent[ru as usize] = rv;
+        }
+    }
+    (0..n as u32).filter(|&v| find(&mut parent, v) == v).count()
+}
+
+/// Tarjan's strongly connected components, iteratively (no recursion so
+/// large test graphs cannot overflow the stack).
+///
+/// Returns `(component_of, component_count)`; component ids are arbitrary
+/// but dense.
+pub fn strongly_connected_components(g: &DiGraph) -> (Vec<u32>, usize) {
+    let n = g.vertex_count();
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNSET; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut comp_count = 0u32;
+
+    // Explicit DFS frames: (vertex, next-neighbor-position).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            let nbrs = g.nbr_out(VertexId(v));
+            if *pos < nbrs.len() {
+                let w = nbrs[*pos];
+                *pos += 1;
+                if index[w as usize] == UNSET {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent as usize] =
+                        lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = comp_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp_count += 1;
+                }
+            }
+        }
+    }
+    (comp, comp_count as usize)
+}
+
+/// Returns `true` if `v` lies on at least one directed cycle (its SCC has
+/// more than one member, or — since the substrate forbids self-loops — any
+/// mutual edge pair keeps the SCC nontrivial already).
+pub fn on_cycle_mask(g: &DiGraph) -> Vec<bool> {
+    let (comp, count) = strongly_connected_components(g);
+    let mut size = vec![0usize; count];
+    for &c in &comp {
+        size[c as usize] += 1;
+    }
+    comp.iter().map(|&c| size[c as usize] > 1).collect()
+}
+
+/// The paper's five query clusters, by `min(in, out)` degree
+/// (Section VI-A): the degree range of each graph is divided evenly into
+/// five buckets: High, Mid-high, Mid-low, Low, Bottom.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DegreeCluster {
+    /// Top fifth of the min-in-out-degree range.
+    High,
+    /// Second fifth.
+    MidHigh,
+    /// Third fifth.
+    MidLow,
+    /// Fourth fifth.
+    Low,
+    /// Bottom fifth.
+    Bottom,
+}
+
+impl DegreeCluster {
+    /// All clusters from High to Bottom.
+    pub const ALL: [DegreeCluster; 5] = [
+        DegreeCluster::High,
+        DegreeCluster::MidHigh,
+        DegreeCluster::MidLow,
+        DegreeCluster::Low,
+        DegreeCluster::Bottom,
+    ];
+
+    /// Short display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            DegreeCluster::High => "High",
+            DegreeCluster::MidHigh => "Mid-high",
+            DegreeCluster::MidLow => "Mid-low",
+            DegreeCluster::Low => "Low",
+            DegreeCluster::Bottom => "Bottom",
+        }
+    }
+}
+
+/// Assigns every vertex to its [`DegreeCluster`] by dividing the graph's
+/// min-in-out-degree range evenly into five buckets (Section VI-A).
+pub fn degree_clusters(g: &DiGraph) -> Vec<DegreeCluster> {
+    let degrees: Vec<usize> = g.vertices().map(|v| g.min_in_out_degree(v)).collect();
+    let lo = degrees.iter().copied().min().unwrap_or(0);
+    let hi = degrees.iter().copied().max().unwrap_or(0);
+    let span = (hi - lo).max(1) as f64;
+    degrees
+        .into_iter()
+        .map(|d| {
+            // 0.0..1.0 position in the range; bucket 0 = Bottom .. 4 = High.
+            let frac = (d - lo) as f64 / span;
+            let bucket = (frac * 5.0).min(4.999) as usize;
+            match bucket {
+                4 => DegreeCluster::High,
+                3 => DegreeCluster::MidHigh,
+                2 => DegreeCluster::MidLow,
+                1 => DegreeCluster::Low,
+                _ => DegreeCluster::Bottom,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{directed_cycle, directed_path, gnm};
+
+    #[test]
+    fn stats_on_a_cycle() {
+        let g = directed_cycle(6);
+        let s = stats(&g);
+        assert_eq!(s.n, 6);
+        assert_eq!(s.m, 6);
+        assert_eq!(s.weak_components, 1);
+        assert_eq!(s.strong_components, 1);
+        assert!((s.avg_out_degree - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weak_components_count_islands() {
+        let mut g = DiGraph::new(6);
+        g.try_add_edge(VertexId(0), VertexId(1)).unwrap();
+        g.try_add_edge(VertexId(2), VertexId(3)).unwrap();
+        assert_eq!(weakly_connected_components(&g), 4); // {0,1} {2,3} {4} {5}
+    }
+
+    #[test]
+    fn sccs_of_path_are_singletons() {
+        let g = directed_path(5);
+        let (_, count) = strongly_connected_components(&g);
+        assert_eq!(count, 5);
+        assert!(on_cycle_mask(&g).iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn sccs_detect_cycles() {
+        // Cycle 0-1-2 plus a tail 2 -> 3.
+        let g = DiGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let (comp, count) = strongly_connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+        assert_eq!(on_cycle_mask(&g), vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn scc_handles_deep_path_iteratively() {
+        // A 200k-vertex path would overflow a recursive Tarjan.
+        let g = directed_path(200_000);
+        let (_, count) = strongly_connected_components(&g);
+        assert_eq!(count, 200_000);
+    }
+
+    #[test]
+    fn clusters_cover_and_order() {
+        let g = gnm(500, 3_000, 17);
+        let clusters = degree_clusters(&g);
+        assert_eq!(clusters.len(), 500);
+        // The highest min-in-out vertex lands in High, the lowest in Bottom.
+        let degrees: Vec<usize> = g.vertices().map(|v| g.min_in_out_degree(v)).collect();
+        let max_v = (0..500).max_by_key(|&i| degrees[i]).unwrap();
+        let min_v = (0..500).min_by_key(|&i| degrees[i]).unwrap();
+        assert_eq!(clusters[max_v], DegreeCluster::High);
+        assert_eq!(clusters[min_v], DegreeCluster::Bottom);
+    }
+
+    #[test]
+    fn clusters_on_uniform_graph_all_bottom_or_high() {
+        let g = directed_cycle(10); // all min-in-out degrees equal 1
+        let clusters = degree_clusters(&g);
+        // Degenerate range: everything lands in one bucket (Bottom).
+        assert!(clusters.iter().all(|&c| c == DegreeCluster::Bottom));
+    }
+
+    #[test]
+    fn cluster_names() {
+        assert_eq!(DegreeCluster::High.name(), "High");
+        assert_eq!(DegreeCluster::ALL.len(), 5);
+    }
+}

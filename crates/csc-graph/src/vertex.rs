@@ -1,0 +1,86 @@
+//! Vertex identifiers.
+//!
+//! Vertices are dense `u32` indices (`0..n`). A newtype keeps them from being
+//! confused with ranks, couple ids, or raw counts in the labeling layers,
+//! while staying `Copy` and 4 bytes — label entries pack vertex ids into 23
+//! bits (see `csc-labeling`), so `u32` is already generous.
+
+use std::fmt;
+
+/// A vertex identifier: a dense index in `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The maximum number of vertices supported by the substrate.
+    ///
+    /// The bipartite conversion doubles vertex count and the packed label
+    /// entries devote 23 bits to a hub id, so original graphs must satisfy
+    /// `2 * n < 2^23`.
+    pub const MAX_VERTICES: usize = 1 << 31;
+
+    /// Creates a vertex id from a dense index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        debug_assert!(index < Self::MAX_VERTICES);
+        VertexId(index as u32)
+    }
+
+    /// Returns the dense index of this vertex.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<VertexId> for u32 {
+    #[inline]
+    fn from(v: VertexId) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let v = VertexId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(VertexId::from(42u32), v);
+    }
+
+    #[test]
+    fn debug_and_display() {
+        let v = VertexId::new(7);
+        assert_eq!(format!("{v:?}"), "v7");
+        assert_eq!(format!("{v}"), "7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(VertexId::new(1) < VertexId::new(2));
+        assert_eq!(VertexId::default(), VertexId::new(0));
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the graph substrate's structural invariants.
+
+use csc_graph::bipartite::{self, BipartiteGraph};
+use csc_graph::generators;
+use csc_graph::traversal::{bfs_counts, bfs_distances, shortest_cycle_oracle};
+use csc_graph::{Csr, DiGraph, VertexId};
+use proptest::prelude::*;
+
+/// An arbitrary edit script over a fixed vertex set.
+fn arb_edits() -> impl Strategy<Value = (usize, Vec<(u8, u8, bool)>)> {
+    (3usize..24).prop_flat_map(|n| {
+        let edits = proptest::collection::vec(
+            (0..n as u8, 0..n as u8, any::<bool>()),
+            0..60,
+        );
+        (Just(n), edits)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The mirrored adjacency invariant survives any edit script.
+    #[test]
+    fn digraph_invariants_under_edits((n, edits) in arb_edits()) {
+        let mut g = DiGraph::new(n);
+        let mut model: std::collections::BTreeSet<(u8, u8)> = Default::default();
+        for (u, v, insert) in edits {
+            let (a, b) = (VertexId(u as u32), VertexId(v as u32));
+            if insert {
+                let ok = g.try_add_edge(a, b).is_ok();
+                prop_assert_eq!(ok, u != v && model.insert((u, v)));
+            } else {
+                let ok = g.try_remove_edge(a, b).is_ok();
+                prop_assert_eq!(ok, model.remove(&(u, v)));
+            }
+        }
+        prop_assert_eq!(g.edge_count(), model.len());
+        prop_assert!(g.validate().is_ok(), "{:?}", g.validate());
+        // Degrees are consistent with the model.
+        for v in 0..n as u8 {
+            let out = model.iter().filter(|&&(u, _)| u == v).count();
+            let inn = model.iter().filter(|&&(_, w)| w == v).count();
+            prop_assert_eq!(g.out_degree(VertexId(v as u32)), out);
+            prop_assert_eq!(g.in_degree(VertexId(v as u32)), inn);
+        }
+    }
+
+    /// CSR snapshots agree with the dynamic graph on every adjacency.
+    #[test]
+    fn csr_equals_digraph(seed in any::<u64>(), n in 2usize..40) {
+        let m = (seed as usize) % (n * (n - 1) + 1);
+        let g = generators::gnm(n, m, seed);
+        let c = Csr::from_digraph(&g);
+        prop_assert_eq!(c.vertex_count(), g.vertex_count());
+        prop_assert_eq!(c.edge_count(), g.edge_count());
+        for v in g.vertices() {
+            prop_assert_eq!(c.nbr_out(v), g.nbr_out(v));
+            prop_assert_eq!(c.nbr_in(v), g.nbr_in(v));
+        }
+    }
+
+    /// Distances in the bipartite conversion are exactly doubled (+parity).
+    #[test]
+    fn bipartite_distances_double(seed in any::<u64>(), n in 2usize..20) {
+        let m = (seed as usize) % (n * (n - 1) / 2 + 1);
+        let g = generators::gnm(n, m, seed);
+        let gb = BipartiteGraph::from_graph(&g);
+        prop_assert!(gb.validate().is_ok());
+        for s in g.vertices() {
+            let d_orig = bfs_distances(&g, s);
+            let d_bi = bfs_distances(gb.graph(), bipartite::out_vertex(s));
+            for t in g.vertices() {
+                if s == t { continue; }
+                // sd_G(s, t) = k  <=>  sd_Gb(s_o, t_i) = 2k - 1.
+                let want = d_orig[t.index()].map(|k| 2 * k - 1);
+                prop_assert_eq!(
+                    d_bi[bipartite::in_vertex(t).index()], want,
+                    "pair ({}, {})", s, t
+                );
+            }
+        }
+    }
+
+    /// Shortest-cycle counts in G equal shortest v_o ~> v_i path counts in Gb.
+    #[test]
+    fn cycle_counts_transfer_to_bipartite(seed in any::<u64>(), n in 2usize..16) {
+        let m = (seed as usize) % (n * (n - 1) / 2 + 1);
+        let g = generators::gnm(n, m, seed);
+        let gb = BipartiteGraph::from_graph(&g);
+        for v in g.vertices() {
+            let cyc = shortest_cycle_oracle(&g, v);
+            let res = bfs_counts(gb.graph(), bipartite::out_vertex(v), true);
+            let (d, c) = res[bipartite::in_vertex(v).index()];
+            let via_gb = d.map(|d| (d.div_ceil(2), c));
+            prop_assert_eq!(cyc, via_gb, "SCCnt({})", v);
+        }
+    }
+
+    /// Forward counting equals backward counting on the reverse graph.
+    #[test]
+    fn counting_direction_symmetry(seed in any::<u64>(), n in 2usize..20) {
+        let m = (seed as usize) % (n * (n - 1) / 2 + 1);
+        let g = generators::gnm(n, m, seed);
+        let r = g.reversed();
+        for s in g.vertices() {
+            let fwd = bfs_counts(&g, s, true);
+            let rev = bfs_counts(&r, s, false);
+            prop_assert_eq!(fwd, rev, "source {}", s);
+        }
+    }
+
+    /// Generators always produce valid simple graphs.
+    #[test]
+    fn generators_always_valid(seed in any::<u64>()) {
+        let pa = generators::preferential_attachment(80, 3, 0.4, seed);
+        prop_assert!(pa.validate().is_ok());
+        let sw = generators::small_world(50, 2, 0.3, seed);
+        prop_assert!(sw.validate().is_ok());
+        let er = generators::gnm(30, 100, seed);
+        prop_assert!(er.validate().is_ok());
+        prop_assert_eq!(er.edge_count(), 100);
+    }
+}

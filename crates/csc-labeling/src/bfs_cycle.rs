@@ -1,0 +1,147 @@
+//! Baseline 2 (Section III-B, Algorithm 1): index-free BFS shortest-cycle
+//! counting in `O(n + m)` per query.
+//!
+//! The BFS starts from the out-neighbors of the query vertex at distance 1
+//! and propagates distance/count pairs; the moment `v_q` itself is dequeued,
+//! `(D[v_q], C[v_q])` is the answer (all predecessors at distance
+//! `D[v_q] - 1` have already contributed their counts by then). If the queue
+//! drains without reaching `v_q`, no cycle passes through it.
+
+use crate::cycle::CycleCount;
+use crate::state::SearchState;
+use csc_graph::{DiGraph, VertexId};
+
+/// A reusable BFS-CYCLE query engine (Algorithm 1).
+///
+/// Holds the distance/count scratch arrays so repeated queries do not
+/// reallocate; one engine serves any number of sequential queries.
+#[derive(Clone, Debug)]
+pub struct BfsCycleEngine {
+    state: SearchState,
+}
+
+impl BfsCycleEngine {
+    /// Creates an engine for graphs of up to `n` vertices (grows on demand).
+    pub fn new(n: usize) -> Self {
+        BfsCycleEngine {
+            state: SearchState::new(n),
+        }
+    }
+
+    /// Evaluates `SCCnt(vq)` by BFS. `None` when no cycle passes through.
+    pub fn query(&mut self, g: &DiGraph, vq: VertexId) -> Option<CycleCount> {
+        let state = &mut self.state;
+        state.ensure(g.vertex_count());
+        state.reset();
+
+        for &u in g.nbr_out(vq) {
+            let u = VertexId(u);
+            // Multi-source start: every first hop has one path of length 1.
+            state.visit(u, 1, 1);
+            state.queue.push_back(u.0);
+        }
+
+        while let Some(w) = state.queue.pop_front() {
+            let w = VertexId(w);
+            if w == vq {
+                return Some(CycleCount::new(
+                    state.dist[w.index()],
+                    state.count[w.index()],
+                ));
+            }
+            let dw = state.dist[w.index()];
+            let cw = state.count[w.index()];
+            for &u in g.nbr_out(w) {
+                let u = VertexId(u);
+                if !state.visited(u) {
+                    state.visit(u, dw + 1, cw);
+                    state.queue.push_back(u.0);
+                } else if state.dist[u.index()] == dw + 1 {
+                    state.accumulate(u, cw);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// One-shot convenience wrapper around [`BfsCycleEngine`].
+pub fn scc_count_bfs(g: &DiGraph, vq: VertexId) -> Option<CycleCount> {
+    BfsCycleEngine::new(g.vertex_count()).query(g, vq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csc_graph::fixtures::{figure2, pv};
+    use csc_graph::generators::{directed_cycle, gnm, layered_cycle, small_world};
+    use csc_graph::traversal::shortest_cycle_oracle;
+
+    #[test]
+    fn example_1_from_the_paper() {
+        let g = figure2();
+        assert_eq!(scc_count_bfs(&g, pv(7)), Some(CycleCount::new(6, 3)));
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graphs() {
+        let mut engine = BfsCycleEngine::new(0);
+        for seed in 0..10 {
+            let g = gnm(40, 140, seed);
+            for v in g.vertices() {
+                assert_eq!(
+                    engine.query(&g, v).map(|c| (c.length, c.count)),
+                    shortest_cycle_oracle(&g, v),
+                    "seed {seed}, SCCnt({v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_reuse_is_clean_across_graphs() {
+        let mut engine = BfsCycleEngine::new(4);
+        let small = directed_cycle(4);
+        assert_eq!(engine.query(&small, VertexId(0)), Some(CycleCount::new(4, 1)));
+        // Larger graph afterwards: state must grow and stay correct.
+        let big = small_world(100, 2, 0.2, 9);
+        for v in big.vertices() {
+            assert_eq!(
+                engine.query(&big, v).map(|c| (c.length, c.count)),
+                shortest_cycle_oracle(&big, v),
+                "SCCnt({v})"
+            );
+        }
+        // And the small graph again.
+        assert_eq!(engine.query(&small, VertexId(2)), Some(CycleCount::new(4, 1)));
+    }
+
+    #[test]
+    fn two_cycle_is_length_two() {
+        let g = DiGraph::from_edges(2, vec![(0, 1), (1, 0)]);
+        assert_eq!(scc_count_bfs(&g, VertexId(0)), Some(CycleCount::new(2, 1)));
+    }
+
+    #[test]
+    fn dag_returns_none() {
+        let g = DiGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (0, 3)]);
+        for v in g.vertices() {
+            assert_eq!(scc_count_bfs(&g, v), None);
+        }
+    }
+
+    #[test]
+    fn multiplicity_through_layers() {
+        let g = layered_cycle(&[1, 4, 3]);
+        // Cycles through the singleton layer vertex: 4 * 3 of length 3.
+        assert_eq!(scc_count_bfs(&g, VertexId(0)), Some(CycleCount::new(3, 12)));
+    }
+
+    #[test]
+    fn vertex_not_on_its_shortest_cycle_side() {
+        // 0 -> 1 -> 0 two-cycle; 2 feeds into it but is on no cycle.
+        let g = DiGraph::from_edges(3, vec![(0, 1), (1, 0), (2, 0)]);
+        assert_eq!(scc_count_bfs(&g, VertexId(2)), None);
+        assert_eq!(scc_count_bfs(&g, VertexId(0)), Some(CycleCount::new(2, 1)));
+    }
+}

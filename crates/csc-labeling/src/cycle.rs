@@ -1,0 +1,37 @@
+//! The query result type shared by every shortest-cycle algorithm.
+
+/// The answer to a shortest-cycle counting query `SCCnt(v)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CycleCount {
+    /// Length of the shortest cycles through the query vertex (>= 2).
+    pub length: u32,
+    /// Number of distinct shortest cycles through the query vertex
+    /// (saturating at the index's 24-bit count capacity per label entry).
+    pub count: u64,
+}
+
+impl CycleCount {
+    /// Convenience constructor.
+    pub fn new(length: u32, count: u64) -> Self {
+        CycleCount { length, count }
+    }
+}
+
+impl From<(u32, u64)> for CycleCount {
+    fn from((length, count): (u32, u64)) -> Self {
+        CycleCount { length, count }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let c = CycleCount::new(6, 3);
+        assert_eq!(c, CycleCount::from((6, 3)));
+        assert_eq!(c.length, 6);
+        assert_eq!(c.count, 3);
+    }
+}

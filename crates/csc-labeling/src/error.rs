@@ -1,0 +1,66 @@
+//! Errors for index construction.
+
+use crate::entry::EntryOverflow;
+use csc_graph::VertexId;
+use std::fmt;
+
+/// Why an index could not be built or updated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelingError {
+    /// The graph has more vertices than the 23-bit hub field can address.
+    TooManyVertices {
+        /// Number of vertices in the (possibly bipartite) labeled graph.
+        got: usize,
+        /// Maximum addressable.
+        max: usize,
+    },
+    /// A label entry overflowed while labeling `vertex` from `hub`.
+    Entry {
+        /// The hub whose traversal produced the entry.
+        hub: VertexId,
+        /// The vertex being labeled.
+        vertex: VertexId,
+        /// The underlying field overflow.
+        source: EntryOverflow,
+    },
+}
+
+impl fmt::Display for LabelingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelingError::TooManyVertices { got, max } => {
+                write!(f, "graph has {got} vertices; labeling supports at most {max}")
+            }
+            LabelingError::Entry { hub, vertex, source } => {
+                write!(f, "label entry overflow at hub {hub}, vertex {vertex}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LabelingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LabelingError::Entry { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = LabelingError::TooManyVertices { got: 10, max: 5 };
+        assert!(e.to_string().contains("at most 5"));
+        let e = LabelingError::Entry {
+            hub: VertexId(1),
+            vertex: VertexId(2),
+            source: EntryOverflow::Distance(999_999),
+        };
+        assert!(e.to_string().contains("hub 1"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,400 @@
+//! Label storage and 2-hop query evaluation.
+//!
+//! [`Labels`] holds, for every vertex, an in-label list (`L_in`: distances
+//! *from* hubs) and an out-label list (`L_out`: distances *to* hubs), each
+//! sorted by hub rank. The query primitives implement the paper's
+//! Equations (1)–(2): a sorted two-pointer intersection that tracks the
+//! minimum combined distance and sums count products at that minimum.
+
+use crate::entry::{EntryOverflow, LabelEntry};
+use csc_graph::VertexId;
+
+/// Which side of a vertex's labels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LabelSide {
+    /// In-labels: entries `(h, sd(h, v), c)` — paths from the hub to `v`.
+    In,
+    /// Out-labels: entries `(h, sd(v, h), c)` — paths from `v` to the hub.
+    Out,
+}
+
+impl LabelSide {
+    /// The opposite side.
+    #[inline]
+    pub fn flip(self) -> LabelSide {
+        match self {
+            LabelSide::In => LabelSide::Out,
+            LabelSide::Out => LabelSide::In,
+        }
+    }
+}
+
+/// A distance/count pair returned by label queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DistCount {
+    /// Shortest distance.
+    pub dist: u32,
+    /// Number of shortest paths (saturating).
+    pub count: u64,
+}
+
+/// Per-vertex in/out label lists, sorted by hub rank.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Labels {
+    in_labels: Vec<Vec<LabelEntry>>,
+    out_labels: Vec<Vec<LabelEntry>>,
+}
+
+impl Labels {
+    /// Creates empty label lists for `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Labels {
+            in_labels: vec![Vec::new(); n],
+            out_labels: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of vertices covered.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.in_labels.len()
+    }
+
+    /// Grows the structure to cover one more vertex (dynamic graphs).
+    pub fn push_vertex(&mut self) {
+        self.in_labels.push(Vec::new());
+        self.out_labels.push(Vec::new());
+    }
+
+    /// The in-label list of `v`.
+    #[inline]
+    pub fn in_of(&self, v: VertexId) -> &[LabelEntry] {
+        &self.in_labels[v.index()]
+    }
+
+    /// The out-label list of `v`.
+    #[inline]
+    pub fn out_of(&self, v: VertexId) -> &[LabelEntry] {
+        &self.out_labels[v.index()]
+    }
+
+    /// The label list of `v` on `side`.
+    #[inline]
+    pub fn side_of(&self, v: VertexId, side: LabelSide) -> &[LabelEntry] {
+        match side {
+            LabelSide::In => self.in_of(v),
+            LabelSide::Out => self.out_of(v),
+        }
+    }
+
+    fn side_mut(&mut self, v: VertexId, side: LabelSide) -> &mut Vec<LabelEntry> {
+        match side {
+            LabelSide::In => &mut self.in_labels[v.index()],
+            LabelSide::Out => &mut self.out_labels[v.index()],
+        }
+    }
+
+    /// Appends an entry whose hub rank is strictly greater than every
+    /// existing entry's — the hot path during static construction, where
+    /// hubs are processed in descending rank order.
+    ///
+    /// Debug builds assert the ordering invariant.
+    #[inline]
+    pub fn append(&mut self, v: VertexId, side: LabelSide, entry: LabelEntry) {
+        let list = self.side_mut(v, side);
+        debug_assert!(
+            list.last().is_none_or(|last| last.hub_rank() < entry.hub_rank()),
+            "append would break hub-rank order at {v:?}"
+        );
+        list.push(entry);
+    }
+
+    /// Inserts or replaces the entry for `entry.hub_rank()` at `v`,
+    /// keeping the list sorted. Returns the previous entry, if any.
+    /// This is the dynamic-maintenance path (`UPDATE_LABEL`).
+    pub fn upsert(
+        &mut self,
+        v: VertexId,
+        side: LabelSide,
+        entry: LabelEntry,
+    ) -> Option<LabelEntry> {
+        let list = self.side_mut(v, side);
+        match list.binary_search_by_key(&entry.hub_rank(), |e| e.hub_rank()) {
+            Ok(pos) => Some(std::mem::replace(&mut list[pos], entry)),
+            Err(pos) => {
+                list.insert(pos, entry);
+                None
+            }
+        }
+    }
+
+    /// Looks up the entry with hub rank `hub_rank` at `v`, if present.
+    #[inline]
+    pub fn entry_for(&self, v: VertexId, side: LabelSide, hub_rank: u32) -> Option<LabelEntry> {
+        let list = self.side_of(v, side);
+        list.binary_search_by_key(&hub_rank, |e| e.hub_rank())
+            .ok()
+            .map(|pos| list[pos])
+    }
+
+    /// Removes the entry with hub rank `hub_rank` at `v`. Returns it.
+    pub fn remove(
+        &mut self,
+        v: VertexId,
+        side: LabelSide,
+        hub_rank: u32,
+    ) -> Option<LabelEntry> {
+        let list = self.side_mut(v, side);
+        match list.binary_search_by_key(&hub_rank, |e| e.hub_rank()) {
+            Ok(pos) => Some(list.remove(pos)),
+            Err(_) => None,
+        }
+    }
+
+    /// Removes entries of `v`'s `side` list for which `pred` returns true,
+    /// returning the removed entries.
+    pub fn drain_matching(
+        &mut self,
+        v: VertexId,
+        side: LabelSide,
+        mut pred: impl FnMut(LabelEntry) -> bool,
+    ) -> Vec<LabelEntry> {
+        let list = self.side_mut(v, side);
+        let mut removed = Vec::new();
+        list.retain(|&e| {
+            if pred(e) {
+                removed.push(e);
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// `SPCnt(s, t)` over the index: the shortest `s ~> t` distance via any
+    /// common hub and the total number of such shortest paths
+    /// (Equations (1)–(2)). `None` when no common hub connects the pair.
+    pub fn dist_count(&self, s: VertexId, t: VertexId) -> Option<DistCount> {
+        intersect(self.out_of(s), self.in_of(t))
+    }
+
+    /// The shortest `s ~> t` distance via the index, if any.
+    pub fn dist(&self, s: VertexId, t: VertexId) -> Option<u32> {
+        self.dist_count(s, t).map(|dc| dc.dist)
+    }
+
+    /// Total number of stored label entries.
+    pub fn total_entries(&self) -> usize {
+        let ins: usize = self.in_labels.iter().map(Vec::len).sum();
+        let outs: usize = self.out_labels.iter().map(Vec::len).sum();
+        ins + outs
+    }
+
+    /// Index size in bytes under the paper's 64-bit-per-entry encoding.
+    pub fn entry_bytes(&self) -> usize {
+        self.total_entries() * std::mem::size_of::<LabelEntry>()
+    }
+
+    /// Largest label list length (query cost is proportional to this).
+    pub fn max_label_len(&self) -> usize {
+        self.in_labels
+            .iter()
+            .chain(self.out_labels.iter())
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Checks the sortedness invariant of every list.
+    pub fn validate_sorted(&self) -> Result<(), String> {
+        for (v, list) in self.in_labels.iter().enumerate() {
+            if !list.windows(2).all(|w| w[0].hub_rank() < w[1].hub_rank()) {
+                return Err(format!("in-labels of vertex {v} are not sorted/unique"));
+            }
+        }
+        for (v, list) in self.out_labels.iter().enumerate() {
+            if !list.windows(2).all(|w| w[0].hub_rank() < w[1].hub_rank()) {
+                return Err(format!("out-labels of vertex {v} are not sorted/unique"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Two-pointer sorted intersection implementing Equations (1)–(2).
+///
+/// Stale (dominated) entries may be present under the redundancy update
+/// strategy; they are harmless here because an entry with a non-minimal
+/// stored distance can never participate in the minimal combined distance
+/// (label distances upper-bound true distances, so a stale component would
+/// push the sum strictly above the covered minimum).
+pub fn intersect(out_s: &[LabelEntry], in_t: &[LabelEntry]) -> Option<DistCount> {
+    let mut best_dist = u32::MAX;
+    let mut best_count: u64 = 0;
+    let (mut i, mut j) = (0, 0);
+    while i < out_s.len() && j < in_t.len() {
+        let (a, b) = (out_s[i], in_t[j]);
+        match a.hub_rank().cmp(&b.hub_rank()) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let d = a.dist() + b.dist();
+                if d < best_dist {
+                    best_dist = d;
+                    best_count = a.count().saturating_mul(b.count());
+                } else if d == best_dist {
+                    best_count =
+                        best_count.saturating_add(a.count().saturating_mul(b.count()));
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    (best_dist != u32::MAX).then_some(DistCount {
+        dist: best_dist,
+        count: best_count,
+    })
+}
+
+/// Convenience constructor for an entry; forwards overflow errors.
+#[inline]
+pub fn entry(hub_rank: u32, dist: u32, count: u64) -> Result<LabelEntry, EntryOverflow> {
+    LabelEntry::new(hub_rank, dist, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(h: u32, d: u32, c: u64) -> LabelEntry {
+        LabelEntry::new(h, d, c).unwrap()
+    }
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn append_and_query_roundtrip() {
+        let mut l = Labels::new(2);
+        l.append(v(0), LabelSide::Out, e(0, 1, 1));
+        l.append(v(0), LabelSide::Out, e(3, 2, 2));
+        l.append(v(1), LabelSide::In, e(0, 2, 3));
+        l.append(v(1), LabelSide::In, e(3, 1, 1));
+        l.validate_sorted().unwrap();
+        // Via hub 0: 1 + 2 = 3, count 1*3 = 3; via hub 3: 2 + 1 = 3, count 2.
+        assert_eq!(
+            l.dist_count(v(0), v(1)),
+            Some(DistCount { dist: 3, count: 5 })
+        );
+        assert_eq!(l.dist(v(0), v(1)), Some(3));
+    }
+
+    #[test]
+    fn intersection_prefers_strictly_shorter() {
+        let out_s = [e(0, 1, 10), e(1, 5, 1)];
+        let in_t = [e(0, 1, 10), e(1, 0, 1)];
+        // Hub 0: dist 2 count 100. Hub 1: dist 5.
+        assert_eq!(
+            intersect(&out_s, &in_t),
+            Some(DistCount {
+                dist: 2,
+                count: 100
+            })
+        );
+    }
+
+    #[test]
+    fn no_common_hub_is_none() {
+        let out_s = [e(0, 1, 1)];
+        let in_t = [e(1, 1, 1)];
+        assert_eq!(intersect(&out_s, &in_t), None);
+        assert_eq!(intersect(&[], &in_t), None);
+    }
+
+    #[test]
+    fn worked_example_2_from_the_paper() {
+        // SPCnt(v10, v8) in Figure 2: hubs {v1, v7} at ranks {0, 1}.
+        // Lout(v10): (v1, 1, 1), (v7, 3, 1). Lin(v8): (v1, 3, 2), (v7, 1, 1).
+        let out_v10 = [e(0, 1, 1), e(1, 3, 1)];
+        let in_v8 = [e(0, 3, 2), e(1, 1, 1)];
+        assert_eq!(
+            intersect(&out_v10, &in_v8),
+            Some(DistCount { dist: 4, count: 3 })
+        );
+    }
+
+    #[test]
+    fn upsert_replaces_and_inserts() {
+        let mut l = Labels::new(1);
+        assert_eq!(l.upsert(v(0), LabelSide::In, e(5, 4, 1)), None);
+        assert_eq!(l.upsert(v(0), LabelSide::In, e(2, 1, 1)), None);
+        // Replace hub 5.
+        assert_eq!(
+            l.upsert(v(0), LabelSide::In, e(5, 3, 7)),
+            Some(e(5, 4, 1))
+        );
+        l.validate_sorted().unwrap();
+        assert_eq!(l.entry_for(v(0), LabelSide::In, 5), Some(e(5, 3, 7)));
+        assert_eq!(l.entry_for(v(0), LabelSide::In, 9), None);
+    }
+
+    #[test]
+    fn remove_and_drain() {
+        let mut l = Labels::new(1);
+        for h in [1, 3, 5, 7] {
+            l.append(v(0), LabelSide::Out, e(h, h, 1));
+        }
+        assert_eq!(l.remove(v(0), LabelSide::Out, 3), Some(e(3, 3, 1)));
+        assert_eq!(l.remove(v(0), LabelSide::Out, 3), None);
+        let drained = l.drain_matching(v(0), LabelSide::Out, |en| en.dist() >= 5);
+        assert_eq!(drained, vec![e(5, 5, 1), e(7, 7, 1)]);
+        assert_eq!(l.out_of(v(0)), &[e(1, 1, 1)]);
+        assert_eq!(l.total_entries(), 1);
+    }
+
+    #[test]
+    fn sizes_and_growth() {
+        let mut l = Labels::new(1);
+        l.append(v(0), LabelSide::In, e(0, 0, 1));
+        l.push_vertex();
+        assert_eq!(l.vertex_count(), 2);
+        l.append(v(1), LabelSide::Out, e(0, 1, 1));
+        l.append(v(1), LabelSide::Out, e(1, 1, 1));
+        assert_eq!(l.total_entries(), 3);
+        assert_eq!(l.entry_bytes(), 24);
+        assert_eq!(l.max_label_len(), 2);
+    }
+
+    #[test]
+    fn side_flip() {
+        assert_eq!(LabelSide::In.flip(), LabelSide::Out);
+        assert_eq!(LabelSide::Out.flip(), LabelSide::In);
+    }
+
+    #[test]
+    fn validate_catches_disorder() {
+        let mut l = Labels::new(1);
+        // Bypass `append`'s debug assertion by upserting then mangling via
+        // drain+append misuse is not possible through the public API, so
+        // construct a bad state through upsert ordering (which keeps order)
+        // — instead check the validator on a good state and trust the
+        // debug_assert for the bad one.
+        l.upsert(v(0), LabelSide::In, e(2, 1, 1));
+        l.upsert(v(0), LabelSide::In, e(1, 1, 1));
+        l.validate_sorted().unwrap();
+    }
+
+    #[test]
+    fn saturating_count_arithmetic() {
+        let big = crate::entry::MAX_COUNT;
+        let out_s = [e(0, 1, big), e(1, 1, big)];
+        let in_t = [e(0, 1, big), e(1, 1, big)];
+        let dc = intersect(&out_s, &in_t).unwrap();
+        assert_eq!(dc.dist, 2);
+        // Products and sums saturate without overflow or panic.
+        assert_eq!(dc.count, (big * big).saturating_add(big * big));
+    }
+}

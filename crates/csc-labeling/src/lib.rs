@@ -1,0 +1,36 @@
+//! # csc-labeling
+//!
+//! 2-hop hub labeling with **exact shortest-path counting**, plus the two
+//! baseline algorithms the CSC paper compares against:
+//!
+//! * [`HpSpcIndex`] — HP-SPC (Zhang & Yu, SIGMOD 2020): pruned landmark
+//!   labeling whose entries carry shortest-path counts partitioned by
+//!   highest-ranked vertex, making `SPCnt(s, t)` queries exact.
+//! * [`scc_baseline::scc_count`] — Baseline 1: `SCCnt` via HP-SPC plus
+//!   neighborhood enumeration (Section III-A).
+//! * [`BfsCycleEngine`] — Baseline 2: index-free `O(n + m)` BFS counting
+//!   (Section III-B, Algorithm 1).
+//!
+//! The building blocks ([`LabelEntry`], [`Labels`], [`SearchState`],
+//! [`HubCache`]) are shared with `csc-core`, which layers the bipartite
+//! conversion and couple-vertex skipping on the same machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs_cycle;
+pub mod cycle;
+pub mod entry;
+pub mod error;
+pub mod hpspc;
+pub mod labels;
+pub mod scc_baseline;
+pub mod state;
+
+pub use bfs_cycle::{scc_count_bfs, BfsCycleEngine};
+pub use cycle::CycleCount;
+pub use entry::{EntryOverflow, LabelEntry, MAX_COUNT, MAX_DIST, MAX_HUB_RANK};
+pub use error::LabelingError;
+pub use hpspc::{BuildStats, HpSpcIndex};
+pub use labels::{DistCount, LabelSide, Labels};
+pub use state::{HubCache, SearchState, INF};

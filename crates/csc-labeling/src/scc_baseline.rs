@@ -1,0 +1,131 @@
+//! Baseline 1 (Section III-A): shortest-cycle counting through HP-SPC plus
+//! neighborhood enumeration.
+//!
+//! `SPCnt(v, v)` over a 2-hop index degenerates to the empty path, so the
+//! cycle query is rewritten through `v`'s neighbors. Every cycle through
+//! `v` decomposes uniquely at its first edge `v -> w` (equivalently its
+//! last edge `u -> v`), giving Equations (3)–(4):
+//!
+//! ```text
+//! W       = argmin_{w in nbr_out(v)} sd(w, v)
+//! SCCnt(v) = sum_{w in W} SPCnt(w, v)        (cycle length = min + 1)
+//! ```
+//!
+//! The side with fewer neighbors is queried (`|nbr_out|` vs `|nbr_in|`),
+//! which is exactly why the paper's Figure 10 shows this baseline degrading
+//! on high-degree query vertices — the cost is `min_degree` label
+//! intersections per query, versus one for CSC.
+
+use crate::cycle::CycleCount;
+use crate::hpspc::HpSpcIndex;
+use csc_graph::{DiGraph, VertexId};
+
+/// Evaluates `SCCnt(v)` with the HP-SPC baseline: one `SPCnt` probe per
+/// neighbor on the cheaper side. Returns `None` when no cycle passes
+/// through `v`.
+pub fn scc_count(index: &HpSpcIndex, g: &DiGraph, v: VertexId) -> Option<CycleCount> {
+    let use_out = g.out_degree(v) <= g.in_degree(v);
+    let nbrs = if use_out { g.nbr_out(v) } else { g.nbr_in(v) };
+    let mut best_dist = u32::MAX;
+    let mut total: u64 = 0;
+    for &w in nbrs {
+        let w = VertexId(w);
+        let dc = if use_out {
+            index.sp_count(w, v)
+        } else {
+            index.sp_count(v, w)
+        };
+        if let Some(dc) = dc {
+            if dc.dist < best_dist {
+                best_dist = dc.dist;
+                total = dc.count;
+            } else if dc.dist == best_dist {
+                total = total.saturating_add(dc.count);
+            }
+        }
+    }
+    (best_dist != u32::MAX).then(|| CycleCount::new(best_dist + 1, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csc_graph::fixtures::{figure2, figure2_order, pv};
+    use csc_graph::generators::{directed_cycle, gnm, preferential_attachment};
+    use csc_graph::traversal::shortest_cycle_oracle;
+    use csc_graph::{OrderingStrategy, RankTable};
+
+    #[test]
+    fn example_3_from_the_paper() {
+        let g = figure2();
+        let idx = HpSpcIndex::build_with_ranks(&g, RankTable::from_order(&figure2_order()))
+            .unwrap();
+        // SCCnt(v7) = 3 with cycle length 6.
+        assert_eq!(
+            scc_count(&idx, &g, pv(7)),
+            Some(CycleCount::new(6, 3))
+        );
+    }
+
+    #[test]
+    fn all_vertices_match_oracle_on_figure2() {
+        let g = figure2();
+        let idx = HpSpcIndex::build(&g, OrderingStrategy::Degree).unwrap();
+        for v in g.vertices() {
+            assert_eq!(
+                scc_count(&idx, &g, v).map(|c| (c.length, c.count)),
+                shortest_cycle_oracle(&g, v),
+                "SCCnt({v})"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graphs() {
+        for seed in 0..6 {
+            let g = gnm(30, 90, seed);
+            let idx = HpSpcIndex::build(&g, OrderingStrategy::Degree).unwrap();
+            for v in g.vertices() {
+                assert_eq!(
+                    scc_count(&idx, &g, v).map(|c| (c.length, c.count)),
+                    shortest_cycle_oracle(&g, v),
+                    "seed {seed} SCCnt({v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn counts_two_cycles() {
+        let g = preferential_attachment(60, 2, 0.8, 3);
+        let idx = HpSpcIndex::build(&g, OrderingStrategy::Degree).unwrap();
+        for v in g.vertices() {
+            assert_eq!(
+                scc_count(&idx, &g, v).map(|c| (c.length, c.count)),
+                shortest_cycle_oracle(&g, v),
+                "SCCnt({v})"
+            );
+        }
+    }
+
+    #[test]
+    fn acyclic_vertex_returns_none() {
+        let g = DiGraph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let idx = HpSpcIndex::build(&g, OrderingStrategy::Degree).unwrap();
+        for v in g.vertices() {
+            assert_eq!(scc_count(&idx, &g, v), None);
+        }
+    }
+
+    #[test]
+    fn isolated_vertex_returns_none() {
+        let mut g = directed_cycle(3);
+        let iso = g.add_vertex();
+        let idx = HpSpcIndex::build(&g, OrderingStrategy::Degree).unwrap();
+        assert_eq!(scc_count(&idx, &g, iso), None);
+        assert_eq!(
+            scc_count(&idx, &g, VertexId(0)),
+            Some(CycleCount::new(3, 1))
+        );
+    }
+}

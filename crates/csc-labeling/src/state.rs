@@ -1,0 +1,248 @@
+//! Reusable search state for the pruned-BFS label constructions.
+//!
+//! One labeling run performs `n` BFS traversals; allocating distance/count
+//! arrays per hub would dominate the runtime. [`SearchState`] keeps the
+//! arrays alive and resets only the entries touched by the previous
+//! traversal (the classic "timestamp-free" sparse reset), and [`HubCache`]
+//! is the epoch-stamped scatter array that makes the per-vertex distance
+//! check `O(|label|)` instead of `O(|label| log |label|)`.
+
+use csc_graph::VertexId;
+use std::collections::VecDeque;
+
+/// Sentinel for "not visited".
+pub const INF: u32 = u32::MAX;
+
+/// Distance/count arrays plus the BFS queue, reusable across traversals.
+#[derive(Clone, Debug)]
+pub struct SearchState {
+    /// Tentative distances (`INF` = unvisited).
+    pub dist: Vec<u32>,
+    /// Tentative shortest-path counts.
+    pub count: Vec<u64>,
+    /// FIFO queue of vertex ids.
+    pub queue: VecDeque<u32>,
+    touched: Vec<u32>,
+}
+
+impl SearchState {
+    /// Creates state for `n` vertices.
+    pub fn new(n: usize) -> Self {
+        SearchState {
+            dist: vec![INF; n],
+            count: vec![0; n],
+            queue: VecDeque::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Number of vertices the state covers.
+    pub fn len(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// `true` if sized for zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.dist.is_empty()
+    }
+
+    /// Grows the state to cover at least `n` vertices.
+    pub fn ensure(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, INF);
+            self.count.resize(n, 0);
+        }
+    }
+
+    /// Marks `v` visited with distance `d` and count `c` and records it for
+    /// the sparse reset.
+    #[inline]
+    pub fn visit(&mut self, v: VertexId, d: u32, c: u64) {
+        let i = v.index();
+        debug_assert_eq!(self.dist[i], INF, "visit() on an already-visited vertex");
+        self.dist[i] = d;
+        self.count[i] = c;
+        self.touched.push(v.0);
+    }
+
+    /// Adds `c` shortest paths to an already-visited vertex.
+    #[inline]
+    pub fn accumulate(&mut self, v: VertexId, c: u64) {
+        let i = v.index();
+        self.count[i] = self.count[i].saturating_add(c);
+    }
+
+    /// Overwrites distance/count of an already-visited vertex (dynamic
+    /// passes relax distances downward).
+    #[inline]
+    pub fn relax(&mut self, v: VertexId, d: u32, c: u64) {
+        let i = v.index();
+        debug_assert_ne!(self.dist[i], INF, "relax() on an unvisited vertex");
+        self.dist[i] = d;
+        self.count[i] = c;
+    }
+
+    /// `true` if `v` has been visited since the last reset.
+    #[inline]
+    pub fn visited(&self, v: VertexId) -> bool {
+        self.dist[v.index()] != INF
+    }
+
+    /// Clears only the touched entries and the queue (O(traversal size)).
+    pub fn reset(&mut self) {
+        for &v in &self.touched {
+            self.dist[v as usize] = INF;
+            self.count[v as usize] = 0;
+        }
+        self.touched.clear();
+        self.queue.clear();
+    }
+
+    /// The vertices touched since the last reset (in visit order).
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+}
+
+/// Epoch-stamped scatter array: holds the current hub's own label (hub rank
+/// -> distance/count) so that the per-dequeued-vertex distance check scans
+/// only the *other* side's label list.
+#[derive(Clone, Debug)]
+pub struct HubCache {
+    dist: Vec<u32>,
+    count: Vec<u64>,
+    epoch: Vec<u32>,
+    current: u32,
+}
+
+impl HubCache {
+    /// Creates a cache keyed by ranks `0..n`.
+    pub fn new(n: usize) -> Self {
+        HubCache {
+            dist: vec![0; n],
+            count: vec![0; n],
+            epoch: vec![0; n],
+            current: 0,
+        }
+    }
+
+    /// Grows the cache to cover at least `n` ranks.
+    pub fn ensure(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, 0);
+            self.count.resize(n, 0);
+            self.epoch.resize(n, 0);
+        }
+    }
+
+    /// Starts a new scatter epoch (O(1)); previous contents become stale.
+    pub fn begin(&mut self) {
+        self.current = self.current.wrapping_add(1);
+        if self.current == 0 {
+            // Epoch counter wrapped: hard-reset stamps so stale entries
+            // cannot alias the new epoch. Happens once per 2^32 traversals.
+            self.epoch.fill(0);
+            self.current = 1;
+        }
+    }
+
+    /// Records `(dist, count)` for `hub_rank` in the current epoch.
+    #[inline]
+    pub fn put(&mut self, hub_rank: u32, dist: u32, count: u64) {
+        let i = hub_rank as usize;
+        self.dist[i] = dist;
+        self.count[i] = count;
+        self.epoch[i] = self.current;
+    }
+
+    /// Fetches the current-epoch value for `hub_rank`, if set.
+    #[inline]
+    pub fn get(&self, hub_rank: u32) -> Option<(u32, u64)> {
+        let i = hub_rank as usize;
+        (self.epoch[i] == self.current).then(|| (self.dist[i], self.count[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn visit_accumulate_reset() {
+        let mut s = SearchState::new(4);
+        s.visit(v(1), 0, 1);
+        s.visit(v(2), 1, 1);
+        s.accumulate(v(2), 2);
+        assert!(s.visited(v(1)));
+        assert_eq!(s.dist[2], 1);
+        assert_eq!(s.count[2], 3);
+        assert_eq!(s.touched(), &[1, 2]);
+        s.reset();
+        assert!(!s.visited(v(1)));
+        assert!(!s.visited(v(2)));
+        assert_eq!(s.count[2], 0);
+        assert!(s.touched().is_empty());
+    }
+
+    #[test]
+    fn relax_overwrites() {
+        let mut s = SearchState::new(2);
+        s.visit(v(0), 5, 9);
+        s.relax(v(0), 3, 2);
+        assert_eq!((s.dist[0], s.count[0]), (3, 2));
+    }
+
+    #[test]
+    fn accumulate_saturates() {
+        let mut s = SearchState::new(1);
+        s.visit(v(0), 0, u64::MAX - 1);
+        s.accumulate(v(0), 5);
+        assert_eq!(s.count[0], u64::MAX);
+    }
+
+    #[test]
+    fn ensure_grows() {
+        let mut s = SearchState::new(1);
+        s.ensure(10);
+        assert_eq!(s.len(), 10);
+        s.visit(v(9), 1, 1);
+        assert!(s.visited(v(9)));
+        s.ensure(5); // never shrinks
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn hub_cache_epochs_are_cheap() {
+        let mut c = HubCache::new(4);
+        c.begin();
+        c.put(2, 7, 3);
+        assert_eq!(c.get(2), Some((7, 3)));
+        assert_eq!(c.get(1), None);
+        c.begin();
+        assert_eq!(c.get(2), None, "previous epoch invisible");
+        c.put(2, 1, 1);
+        assert_eq!(c.get(2), Some((1, 1)));
+    }
+
+    #[test]
+    fn hub_cache_grows() {
+        let mut c = HubCache::new(1);
+        c.ensure(8);
+        c.begin();
+        c.put(7, 1, 1);
+        assert_eq!(c.get(7), Some((1, 1)));
+    }
+
+    #[test]
+    fn queue_reset() {
+        let mut s = SearchState::new(3);
+        s.queue.push_back(1);
+        s.queue.push_back(2);
+        s.reset();
+        assert!(s.queue.is_empty());
+    }
+}

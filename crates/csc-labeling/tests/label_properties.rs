@@ -1,0 +1,108 @@
+//! Property tests for the labeling layer: packed-entry algebra, label-store
+//! operations against a naive model, and HP-SPC exactness.
+
+use csc_graph::generators::gnm;
+use csc_graph::traversal::bfs_counts;
+use csc_graph::{OrderingStrategy, VertexId};
+use csc_labeling::{labels::intersect, HpSpcIndex, LabelEntry, LabelSide, Labels};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Packing roundtrips for every in-range field combination; counts
+    /// saturate, never wrap.
+    #[test]
+    fn entry_roundtrip(
+        hub in 0u32..=csc_labeling::MAX_HUB_RANK,
+        dist in 0u32..=csc_labeling::MAX_DIST,
+        count in any::<u64>(),
+    ) {
+        let e = LabelEntry::new(hub, dist, count).unwrap();
+        prop_assert_eq!(e.hub_rank(), hub);
+        prop_assert_eq!(e.dist(), dist);
+        prop_assert_eq!(e.count(), count.min(csc_labeling::MAX_COUNT));
+        prop_assert_eq!(LabelEntry::from_raw(e.raw()), e);
+    }
+
+    /// Out-of-range hubs and distances are rejected, never truncated.
+    #[test]
+    fn entry_overflow_rejected(extra in 1u32..1000) {
+        prop_assert!(LabelEntry::new(csc_labeling::MAX_HUB_RANK + extra, 0, 0).is_err());
+        prop_assert!(LabelEntry::new(0, csc_labeling::MAX_DIST + extra, 0).is_err());
+    }
+
+    /// The label store behaves like a sorted map keyed by hub rank.
+    #[test]
+    fn labels_match_btreemap_model(
+        ops in proptest::collection::vec((0u32..40, 0u32..50, 1u64..9, any::<bool>()), 0..60)
+    ) {
+        let mut labels = Labels::new(1);
+        let mut model: std::collections::BTreeMap<u32, LabelEntry> = Default::default();
+        let v = VertexId(0);
+        for (hub, dist, count, insert) in ops {
+            if insert {
+                let e = LabelEntry::new(hub, dist, count).unwrap();
+                labels.upsert(v, LabelSide::In, e);
+                model.insert(hub, e);
+            } else {
+                let removed = labels.remove(v, LabelSide::In, hub);
+                prop_assert_eq!(removed, model.remove(&hub));
+            }
+        }
+        let got: Vec<_> = labels.in_of(v).to_vec();
+        let want: Vec<_> = model.values().copied().collect();
+        prop_assert_eq!(got, want);
+        prop_assert!(labels.validate_sorted().is_ok());
+    }
+
+    /// `intersect` equals a brute-force minimum over common hubs.
+    #[test]
+    fn intersect_matches_bruteforce(
+        a in proptest::collection::btree_map(0u32..24, (0u32..30, 1u64..9), 0..12),
+        b in proptest::collection::btree_map(0u32..24, (0u32..30, 1u64..9), 0..12),
+    ) {
+        let list_a: Vec<LabelEntry> = a.iter()
+            .map(|(&h, &(d, c))| LabelEntry::new(h, d, c).unwrap()).collect();
+        let list_b: Vec<LabelEntry> = b.iter()
+            .map(|(&h, &(d, c))| LabelEntry::new(h, d, c).unwrap()).collect();
+
+        let mut best: Option<(u32, u64)> = None;
+        for (&h, &(da, ca)) in &a {
+            if let Some(&(db, cb)) = b.get(&h) {
+                let d = da + db;
+                let c = ca * cb;
+                best = Some(match best {
+                    None => (d, c),
+                    Some((bd, _bc)) if d < bd => (d, c),
+                    Some((bd, bc)) if d == bd => (bd, bc + c),
+                    Some(keep) => keep,
+                });
+            }
+        }
+        let got = intersect(&list_a, &list_b).map(|dc| (dc.dist, dc.count));
+        prop_assert_eq!(got, best);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// HP-SPC distances and counts are exact on arbitrary graphs for every
+    /// ordered pair — the foundation everything else builds on.
+    #[test]
+    fn hpspc_exact_on_arbitrary_graphs(seed in any::<u64>(), n in 2usize..22) {
+        let m = (seed as usize) % (n * (n - 1) + 1);
+        let g = gnm(n, m, seed);
+        let idx = HpSpcIndex::build(&g, OrderingStrategy::Degree).unwrap();
+        for s in g.vertices() {
+            let truth = bfs_counts(&g, s, true);
+            for t in g.vertices() {
+                if s == t { continue; }
+                let want = truth[t.index()].0.map(|d| (d, truth[t.index()].1));
+                let got = idx.sp_count(s, t).map(|dc| (dc.dist, dc.count));
+                prop_assert_eq!(got, want, "SPCnt({}, {})", s, t);
+            }
+        }
+    }
+}

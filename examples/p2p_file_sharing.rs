@@ -1,0 +1,98 @@
+//! P2P file-sharing optimization (the paper's Application 2).
+//!
+//! In a Gnutella-style overlay, a host whose shortest request/transfer
+//! cycles are *numerous* is both failure-tolerant and easy to reach — the
+//! paper's criterion for placing index servers. Hosts with *long* shortest
+//! cycles are candidates for proxy placement. This example picks index
+//! servers on a synthetic overlay and validates the choice against the
+//! BFS baseline.
+//!
+//! ```sh
+//! cargo run --release --example p2p_file_sharing
+//! ```
+
+use csc::graph::generators::gnm;
+use csc::prelude::*;
+
+fn main() -> Result<(), CscError> {
+    // A Gnutella-04-like overlay: flat degree distribution.
+    let n = 3_000;
+    let overlay = gnm(n, 12_000, 7);
+    println!(
+        "overlay: {} hosts, {} interactions",
+        overlay.vertex_count(),
+        overlay.edge_count()
+    );
+
+    let index = CscIndex::build(&overlay, CscConfig::default())?;
+    println!(
+        "index built in {:?}; {} entries\n",
+        index.stats().build.build_time,
+        index.total_entries()
+    );
+
+    // Score every host: index servers want many, short feedback cycles.
+    let mut hosts: Vec<(VertexId, u32, u64)> = overlay
+        .vertices()
+        .filter_map(|v| index.query(v).map(|c| (v, c.length, c.count)))
+        .collect();
+
+    // Index-server candidates: shortest cycle length minimal, count maximal.
+    hosts.sort_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)));
+    println!("index-server candidates (short + numerous cycles):");
+    for (v, len, count) in hosts.iter().take(5) {
+        println!("  host {v:>6}: {count:>6} shortest cycles of length {len}");
+    }
+
+    // Proxy candidates: hosts whose shortest cycles are long (expensive
+    // feedback paths) — the paper suggests fronting them with a proxy.
+    let mut by_length = hosts.clone();
+    by_length.sort_by(|a, b| b.1.cmp(&a.1).then(a.2.cmp(&b.2)));
+    println!("\nproxy candidates (long feedback cycles):");
+    for (v, len, count) in by_length.iter().take(5) {
+        println!("  host {v:>6}: cycles of length {len} (x{count})");
+    }
+
+    // Spot-check the ranking against the O(n+m) baseline.
+    let mut engine = BfsCycleEngine::new(overlay.vertex_count());
+    for (v, len, count) in hosts.iter().take(3) {
+        let reference = engine.query(&overlay, *v).expect("host is on a cycle");
+        assert_eq!((reference.length, reference.count), (*len, *count));
+    }
+    println!("\nBFS baseline confirms the top candidates.");
+
+    // Churn: the best candidate goes offline (its links drop); re-rank
+    // cheaply via the dynamic index instead of recomputing everything.
+    let mut index = index;
+    let (gone, ..) = hosts[0];
+    let out: Vec<u32> = overlay.nbr_out(gone).to_vec();
+    let inn: Vec<u32> = overlay.nbr_in(gone).to_vec();
+    let (mut removed, mut total) = (0, std::time::Duration::ZERO);
+    for w in out {
+        let r = index.remove_edge(gone, VertexId(w))?;
+        removed += 1;
+        total += r.duration;
+    }
+    for u in inn {
+        let r = index.remove_edge(VertexId(u), gone)?;
+        removed += 1;
+        total += r.duration;
+    }
+    println!(
+        "host {gone} went offline: {removed} links retired in {total:?} total"
+    );
+    assert_eq!(index.query(gone), None, "offline host sits on no cycle");
+
+    let best = overlay
+        .vertices()
+        .filter(|&v| v != gone)
+        .filter_map(|v| index.query(v).map(|c| (v, c)))
+        .min_by(|a, b| a.1.length.cmp(&b.1.length).then(b.1.count.cmp(&a.1.count)));
+    if let Some((v, c)) = best {
+        println!(
+            "new index-server pick: host {v} ({} cycles of length {})",
+            c.count, c.length
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build an index, query it, and keep it synchronized with a
+//! changing graph.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use csc::prelude::*;
+
+fn main() -> Result<(), CscError> {
+    // The worked example from the paper (Figure 2): ten vertices, three
+    // shortest cycles of length 6 through v7.
+    let g = csc::graph::fixtures::figure2();
+    let v7 = csc::graph::fixtures::pv(7);
+
+    println!("graph: {} vertices, {} edges", g.vertex_count(), g.edge_count());
+
+    // 1. Build the CSC index.
+    let mut index = CscIndex::build(&g, CscConfig::default())?;
+    println!(
+        "index: {} label entries ({} bytes), built in {:?}",
+        index.total_entries(),
+        index.index_bytes(),
+        index.stats().build.build_time
+    );
+
+    // 2. Query: how many shortest cycles pass through v7?
+    let c = index.query(v7).expect("v7 lies on cycles");
+    println!("SCCnt(v7) = {} shortest cycles of length {}", c.count, c.length);
+    assert_eq!((c.length, c.count), (6, 3)); // Example 1 of the paper
+
+    // 3. The graph evolves: a new edge creates a shortcut cycle.
+    let report = index.insert_edge(csc::graph::fixtures::pv(8), v7)?;
+    println!(
+        "inserted edge v8 -> v7 in {:?} ({} label entries touched)",
+        report.duration,
+        report.entries_inserted + report.entries_updated
+    );
+    let c = index.query(v7).expect("cycles remain");
+    println!("SCCnt(v7) is now {} cycles of length {}", c.count, c.length);
+    assert_eq!((c.length, c.count), (2, 1)); // v7 -> v8 -> v7
+
+    // 4. And shrinks again.
+    index.remove_edge(csc::graph::fixtures::pv(8), v7)?;
+    let c = index.query(v7).expect("original cycles restored");
+    assert_eq!((c.length, c.count), (6, 3));
+    println!("after deletion SCCnt(v7) is back to {} cycles of length {}", c.count, c.length);
+
+    // 5. Compare against the index-free baseline: same answers, no index.
+    let baseline = scc_count_bfs(&g, v7).unwrap();
+    assert_eq!((baseline.length, baseline.count), (6, 3));
+    println!("BFS baseline agrees: {} cycles of length {}", baseline.count, baseline.length);
+
+    Ok(())
+}
