@@ -8,11 +8,7 @@ use csc_graph::properties::{degree_clusters, DegreeCluster};
 use csc_graph::{OrderingStrategy, VertexId};
 use csc_labeling::{scc_baseline, BfsCycleEngine, HpSpcIndex};
 
-fn cluster_sample(
-    g: &csc_graph::DiGraph,
-    cluster: DegreeCluster,
-    take: usize,
-) -> Vec<VertexId> {
+fn cluster_sample(g: &csc_graph::DiGraph, cluster: DegreeCluster, take: usize) -> Vec<VertexId> {
     let clusters = degree_clusters(g);
     g.vertices()
         .filter(|v| clusters[v.index()] == cluster)
@@ -32,30 +28,22 @@ fn bench_query(c: &mut Criterion) {
         if vs.is_empty() {
             continue;
         }
-        group.bench_with_input(
-            BenchmarkId::new("csc", cluster.name()),
-            &vs,
-            |b, vs| {
-                let mut i = 0;
-                b.iter(|| {
-                    let v = vs[i % vs.len()];
-                    i += 1;
-                    csc.query(v)
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("hpspc", cluster.name()),
-            &vs,
-            |b, vs| {
-                let mut i = 0;
-                b.iter(|| {
-                    let v = vs[i % vs.len()];
-                    i += 1;
-                    scc_baseline::scc_count(&hp, &g, v)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("csc", cluster.name()), &vs, |b, vs| {
+            let mut i = 0;
+            b.iter(|| {
+                let v = vs[i % vs.len()];
+                i += 1;
+                csc.query(v)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hpspc", cluster.name()), &vs, |b, vs| {
+            let mut i = 0;
+            b.iter(|| {
+                let v = vs[i % vs.len()];
+                i += 1;
+                scc_baseline::scc_count(&hp, &g, v)
+            })
+        });
         group.bench_with_input(BenchmarkId::new("bfs", cluster.name()), &vs, |b, vs| {
             let mut engine = BfsCycleEngine::new(g.vertex_count());
             let mut i = 0;

@@ -1,0 +1,111 @@
+//! `kernel-probe` — diagnostic for the query kernels: label-shape
+//! statistics and per-variant intersection timings on a real workload.
+//!
+//! ```sh
+//! cargo run --release -p csc-bench --bin kernel_probe [scale]
+//! ```
+//!
+//! Used to attribute the frozen-path speedup between layout and kernel
+//! (the dual-chain merge and galloping thresholds in
+//! `csc_labeling::frozen` were tuned against this probe's numbers).
+
+use csc_bench::datasets::{by_code, generate};
+use csc_core::{CscConfig, CscIndex};
+use csc_graph::bipartite::{in_vertex, out_vertex};
+use csc_graph::VertexId;
+use csc_labeling::frozen::GALLOP_SKEW;
+use csc_labeling::labels::intersect;
+use csc_labeling::{intersect_adaptive, LabelStore};
+use std::time::Instant;
+
+fn main() {
+    let scale: f64 = match std::env::args().nth(1) {
+        None => 1.0,
+        Some(arg) => arg.parse().unwrap_or_else(|_| {
+            eprintln!("usage: kernel_probe [scale]  (bad scale value: {arg})");
+            std::process::exit(2);
+        }),
+    };
+    let g = generate(by_code("G04").unwrap(), scale, 42);
+    println!("graph: n={} m={}", g.vertex_count(), g.edge_count());
+    let t = Instant::now();
+    let index = CscIndex::build(&g, CscConfig::default()).unwrap();
+    println!(
+        "build: {:?}, entries {}",
+        t.elapsed(),
+        index.total_entries()
+    );
+    let snap = index.freeze();
+
+    // Label-shape statistics over the cycle-query slices.
+    let n = g.vertex_count();
+    let mut lens: Vec<(usize, usize)> = Vec::with_capacity(n);
+    for v in 0..n as u32 {
+        let v = VertexId(v);
+        lens.push((
+            index.labels().out_of(out_vertex(v)).len(),
+            index.labels().in_of(in_vertex(v)).len(),
+        ));
+    }
+    let total: usize = lens.iter().map(|&(a, b)| a + b).sum();
+    let max = lens.iter().map(|&(a, b)| a.max(b)).max().unwrap_or(0);
+    let skewed = lens
+        .iter()
+        .filter(|&&(a, b)| a.max(b) >= GALLOP_SKEW * a.min(b).max(1))
+        .count();
+    println!(
+        "query slices: avg len {:.1}, max {}, {}/{} pairs >={}x skewed",
+        total as f64 / (2 * n) as f64,
+        max,
+        skewed,
+        n,
+        GALLOP_SKEW,
+    );
+
+    // Timed sweeps: every vertex queried once per variant.
+    let vs: Vec<VertexId> = (0..n as u32).map(VertexId).collect();
+    let time = |name: &str, f: &dyn Fn(VertexId) -> u64| {
+        // One warmup + three timed rounds; report the best.
+        let mut best = f64::MAX;
+        let mut acc = 0u64;
+        for round in 0..4 {
+            let t = Instant::now();
+            for &v in &vs {
+                acc = acc.wrapping_add(f(v));
+            }
+            let ns = t.elapsed().as_nanos() as f64 / vs.len() as f64;
+            if round > 0 {
+                best = best.min(ns);
+            }
+        }
+        println!("{name:<28} {best:>10.1} ns/query   (acc {acc})");
+    };
+
+    time("nested CscIndex::query", &|v| {
+        index.query(v).map_or(0, |c| c.count)
+    });
+    time("frozen SnapshotIndex::query", &|v| {
+        snap.query(v).map_or(0, |c| c.count)
+    });
+    time("nested slices + ref kernel", &|v| {
+        intersect(
+            index.labels().out_of(out_vertex(v)),
+            index.labels().in_of(in_vertex(v)),
+        )
+        .map_or(0, |dc| dc.count)
+    });
+    time("nested slices + adaptive", &|v| {
+        intersect_adaptive(
+            index.labels().out_of(out_vertex(v)),
+            index.labels().in_of(in_vertex(v)),
+        )
+        .map_or(0, |dc| dc.count)
+    });
+    time("frozen slices + adaptive", &|v| {
+        intersect_adaptive(
+            snap.labels().out_of(out_vertex(v)),
+            snap.labels().in_of(in_vertex(v)),
+        )
+        .map_or(0, |dc| dc.count)
+    });
+}

@@ -95,7 +95,13 @@ fn main() -> ExitCode {
 
     if command == "all" {
         for name in [
-            "table4", "fig9", "fig10", "fig11", "fig12", "case-study", "throughput",
+            "table4",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "case-study",
+            "throughput",
             "ablation",
         ] {
             eprintln!("==> {name}");

@@ -137,10 +137,26 @@ pub fn generate(spec: &DatasetSpec, scale: f64, seed: u64) -> DiGraph {
     let seed = seed ^ (spec.code.bytes().fold(0u64, |h, b| h * 31 + b as u64));
     match spec.family {
         Family::P2p => gnm(n, m_target.min(n * (n - 1) / 2), seed),
-        Family::Email => grow_to(preferential_attachment(n, k_for(n, m_target, 0.15), 0.15, seed), m_target, seed),
-        Family::Web => grow_to(preferential_attachment(n, k_for(n, m_target, 0.05), 0.05, seed), m_target, seed),
-        Family::WikiTalk => grow_to(preferential_attachment(n, k_for(n, m_target, 0.35), 0.35, seed), m_target, seed),
-        Family::Encyclopedia => grow_to(preferential_attachment(n, k_for(n, m_target, 0.20), 0.20, seed), m_target, seed),
+        Family::Email => grow_to(
+            preferential_attachment(n, k_for(n, m_target, 0.15), 0.15, seed),
+            m_target,
+            seed,
+        ),
+        Family::Web => grow_to(
+            preferential_attachment(n, k_for(n, m_target, 0.05), 0.05, seed),
+            m_target,
+            seed,
+        ),
+        Family::WikiTalk => grow_to(
+            preferential_attachment(n, k_for(n, m_target, 0.35), 0.35, seed),
+            m_target,
+            seed,
+        ),
+        Family::Encyclopedia => grow_to(
+            preferential_attachment(n, k_for(n, m_target, 0.20), 0.20, seed),
+            m_target,
+            seed,
+        ),
     }
 }
 

@@ -40,9 +40,8 @@ pub fn measure(ctx: &ExpContext) -> Vec<AblationRow> {
     ]
     .into_iter()
     .map(|order| {
-        let (index, build_time) = time_it(|| {
-            CscIndex::build(&g, CscConfig::default().with_order(order)).expect("build")
-        });
+        let (index, build_time) =
+            time_it(|| CscIndex::build(&g, CscConfig::default().with_order(order)).expect("build"));
         let times: Vec<_> = sample
             .iter()
             .map(|&v| time_it(|| index.query(v)).1)

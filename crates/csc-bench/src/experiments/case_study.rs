@@ -55,8 +55,7 @@ pub fn measure(ctx: &ExpContext) -> ScreeningResult {
     let net = laundering_network(params, ctx.seed ^ 0x13);
     let index = CscIndex::build(&net.graph, CscConfig::default()).expect("build");
     let ranked_raw = screen(&index, net.cycle_len);
-    let planted: std::collections::HashSet<u32> =
-        net.criminals.iter().map(|v| v.0).collect();
+    let planted: std::collections::HashSet<u32> = net.criminals.iter().map(|v| v.0).collect();
     let ranked: Vec<_> = ranked_raw
         .into_iter()
         .map(|(v, len, count)| (v, len, count, planted.contains(&v.0)))

@@ -35,20 +35,14 @@ pub struct ClusterTiming {
 
 /// Samples up to `limit` query vertices per cluster (the paper queries all
 /// vertices, or at least 50 000, split into the five clusters).
-fn sample_clusters(
-    g: &DiGraph,
-    limit: usize,
-    seed: u64,
-) -> Vec<(DegreeCluster, Vec<VertexId>)> {
+fn sample_clusters(g: &DiGraph, limit: usize, seed: u64) -> Vec<(DegreeCluster, Vec<VertexId>)> {
     let clusters = degree_clusters(g);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     DegreeCluster::ALL
         .iter()
         .map(|&c| {
-            let mut members: Vec<VertexId> = g
-                .vertices()
-                .filter(|v| clusters[v.index()] == c)
-                .collect();
+            let mut members: Vec<VertexId> =
+                g.vertices().filter(|v| clusters[v.index()] == c).collect();
             members.shuffle(&mut rng);
             members.truncate(limit);
             (c, members)
@@ -106,7 +100,12 @@ pub fn run(ctx: &ExpContext) -> String {
         let g = generate(spec, ctx.scale, ctx.seed);
         let timings = measure_dataset(&g, ctx);
         let mut table = Table::new([
-            "Cluster", "queries", "BFS", "HP-SPC", "CSC", "CSC vs HP-SPC",
+            "Cluster",
+            "queries",
+            "BFS",
+            "HP-SPC",
+            "CSC",
+            "CSC vs HP-SPC",
         ]);
         for t in &timings {
             let speedup = t.hpspc.as_secs_f64() / t.csc.as_secs_f64().max(1e-9);

@@ -79,14 +79,25 @@ pub fn measure_dataset(
 pub fn run(ctx: &ExpContext) -> String {
     // The paper removes and re-inserts 200-500 random edges per graph.
     let mut table = Table::new([
-        "Graph", "updates", "Minimality time", "Redundancy time", "slowdown",
-        "Min +entries", "Red +entries",
+        "Graph",
+        "updates",
+        "Minimality time",
+        "Redundancy time",
+        "slowdown",
+        "Min +entries",
+        "Red +entries",
     ]);
     for spec in &ctx.datasets {
         let g = generate(spec, ctx.scale, ctx.seed);
-        let batch = if ctx.quick { 50 } else { 200 }.min(g.edge_count() / 4).max(1);
+        let batch = if ctx.quick { 50 } else { 200 }
+            .min(g.edge_count() / 4)
+            .max(1);
         let red = measure_dataset(
-            spec.code, &g, batch, UpdateStrategy::Redundancy, ctx.seed ^ 0x11,
+            spec.code,
+            &g,
+            batch,
+            UpdateStrategy::Redundancy,
+            ctx.seed ^ 0x11,
         );
         // The paper omits minimality on its two largest graphs (too slow);
         // we mirror that by skipping it in quick mode on the big analogs.
@@ -94,7 +105,11 @@ pub fn run(ctx: &ExpContext) -> String {
             None
         } else {
             Some(measure_dataset(
-                spec.code, &g, batch, UpdateStrategy::Minimality, ctx.seed ^ 0x11,
+                spec.code,
+                &g,
+                batch,
+                UpdateStrategy::Minimality,
+                ctx.seed ^ 0x11,
             ))
         };
         let (min_time, min_entries, slowdown) = match &min {

@@ -36,10 +36,7 @@ pub fn edge_degree(g: &DiGraph, u: VertexId, w: VertexId) -> usize {
 
 /// Splits `edges` into the five clusters by evenly dividing the
 /// edge-degree range (mirroring the vertex clustering of Section VI-A).
-pub fn cluster_edges(
-    g: &DiGraph,
-    edges: &[(u32, u32)],
-) -> Vec<(&'static str, Vec<(u32, u32)>)> {
+pub fn cluster_edges(g: &DiGraph, edges: &[(u32, u32)]) -> Vec<(&'static str, Vec<(u32, u32)>)> {
     let degrees: Vec<usize> = edges
         .iter()
         .map(|&(u, w)| edge_degree(g, VertexId(u), VertexId(w)))
@@ -106,7 +103,10 @@ pub fn run(ctx: &ExpContext) -> String {
     let sample = if ctx.quick { 50 } else { 500 }.min(g.edge_count());
     let rows = measure(&g, sample, ctx.seed ^ 0x12);
     let mut table = Table::new([
-        "Edge cluster", "deletions", "avg update time", "avg -entries",
+        "Edge cluster",
+        "deletions",
+        "avg update time",
+        "avg -entries",
     ]);
     for r in &rows {
         table.row([

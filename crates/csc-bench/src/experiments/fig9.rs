@@ -9,8 +9,8 @@ use crate::datasets::generate;
 use crate::measure::{fmt_bytes, fmt_duration, time_it};
 use crate::table::Table;
 use csc_core::{CscConfig, CscIndex};
-use csc_labeling::HpSpcIndex;
 use csc_graph::OrderingStrategy;
+use csc_labeling::HpSpcIndex;
 
 /// One dataset's measurements.
 #[derive(Clone, Debug)]
@@ -58,8 +58,14 @@ pub fn measure(ctx: &ExpContext) -> Vec<Fig9Row> {
 pub fn run(ctx: &ExpContext) -> String {
     let rows = measure(ctx);
     let mut table = Table::new([
-        "Graph", "HP-SPC time", "CSC time", "time ratio", "HP-SPC size",
-        "CSC size (reduced)", "size ratio", "CSC unreduced",
+        "Graph",
+        "HP-SPC time",
+        "CSC time",
+        "time ratio",
+        "HP-SPC size",
+        "CSC size (reduced)",
+        "size ratio",
+        "CSC unreduced",
     ]);
     for r in &rows {
         let t_ratio = r.csc_time.as_secs_f64() / r.hpspc_time.as_secs_f64().max(1e-9);

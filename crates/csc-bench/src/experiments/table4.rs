@@ -9,8 +9,14 @@ use csc_graph::properties::stats;
 /// Runs the experiment and returns the rendered report.
 pub fn run(ctx: &ExpContext) -> String {
     let mut table = Table::new([
-        "Graph", "Paper n", "Paper m", "Analog n", "Analog m", "avg out-deg",
-        "max deg", "SCCs",
+        "Graph",
+        "Paper n",
+        "Paper m",
+        "Analog n",
+        "Analog m",
+        "avg out-deg",
+        "max deg",
+        "SCCs",
     ]);
     for spec in &ctx.datasets {
         let g = generate(spec, ctx.scale, ctx.seed);

@@ -38,11 +38,11 @@ pub fn measure(ctx: &ExpContext, thread_counts: &[usize]) -> Vec<ThroughputPoint
         .map(|&threads| {
             let answered = AtomicUsize::new(0);
             let start = Instant::now();
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
                 for t in 0..threads {
                     let index = &index;
                     let answered = &answered;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut local = 0usize;
                         let mut x = (t as u32).wrapping_mul(2654435761).wrapping_add(1);
                         for _ in 0..per_thread {
@@ -55,8 +55,7 @@ pub fn measure(ctx: &ExpContext, thread_counts: &[usize]) -> Vec<ThroughputPoint
                         answered.fetch_add(local, Ordering::Relaxed);
                     });
                 }
-            })
-            .expect("reader threads join");
+            });
             let elapsed = start.elapsed().as_secs_f64();
             let queries = threads * per_thread;
             ThroughputPoint {

@@ -13,6 +13,12 @@
 //! | Figure 13 (fraud case study) | [`experiments::case_study`] | `case-study` |
 //! | (extension) read scalability | [`experiments::throughput`] | `throughput` |
 //!
+//! Beyond the paper artifacts, `benches/snapshot.rs` pits the frozen-arena
+//! snapshot read path against the nested-`Vec` live path and measures
+//! reader throughput/latency under an active writer (results recorded in
+//! the repo-root `BENCH_query.json`), and the `kernel_probe` binary
+//! attributes the speedup between layout and kernel.
+//!
 //! The paper's nine SNAP/Konect graphs are replaced by seeded synthetic
 //! analogs ([`datasets`]) because this environment has no network access
 //! and the original builds take up to 61 hours; DESIGN.md §4 records the

@@ -1,8 +1,16 @@
 //! Graph-level analytics over the index: batch updates, vertex retirement,
 //! girth, and the top-k screening primitive behind the fraud case study.
+//!
+//! Whole-graph sweeps (`girth`, `top_k_by_cycle_count`) exist on both
+//! [`CscIndex`] (sequential, over the live nested labels) and
+//! [`SnapshotIndex`] (parallel, over the frozen arena). Prefer the
+//! snapshot variants for analytics: they see an immutable state, never
+//! block a writer, and fan the per-vertex label intersections out across
+//! cores.
 
 use crate::error::CscError;
 use crate::index::CscIndex;
+use crate::snapshot::SnapshotIndex;
 use crate::stats::UpdateReport;
 use csc_graph::VertexId;
 use csc_labeling::CycleCount;
@@ -85,40 +93,79 @@ impl CscIndex {
     ///
     /// One index query per vertex: `O(n)` label intersections.
     pub fn girth(&self) -> Option<(u32, usize)> {
-        let mut best: Option<(u32, usize)> = None;
-        for v in 0..self.original_vertex_count() as u32 {
-            if let Some(c) = self.query(VertexId(v)) {
-                best = Some(match best {
-                    None => (c.length, 1),
-                    Some((b, _)) if c.length < b => (c.length, 1),
-                    Some((b, k)) if c.length == b => (b, k + 1),
-                    Some(keep) => keep,
-                });
-            }
-        }
-        best
+        girth_fold((0..self.original_vertex_count() as u32).map(|v| self.query(VertexId(v))))
     }
 
     /// The `k` most cycle-laden vertices among those whose shortest cycle
     /// is at most `max_length` — the screening primitive of the fraud case
     /// study (count descending, then length ascending, then id).
     pub fn top_k_by_cycle_count(&self, k: usize, max_length: u32) -> Vec<VertexCycles> {
-        let mut all: Vec<VertexCycles> = (0..self.original_vertex_count() as u32)
-            .filter_map(|v| {
-                let v = VertexId(v);
-                self.query(v).map(|cycles| VertexCycles { vertex: v, cycles })
-            })
-            .filter(|vc| vc.cycles.length <= max_length)
-            .collect();
-        all.sort_by(|a, b| {
-            b.cycles
-                .count
-                .cmp(&a.cycles.count)
-                .then(a.cycles.length.cmp(&b.cycles.length))
-                .then(a.vertex.cmp(&b.vertex))
+        rank_by_cycle_count(
+            (0..self.original_vertex_count() as u32).map(|v| self.query(VertexId(v))),
+            k,
+            max_length,
+        )
+    }
+}
+
+/// Shared girth accumulator: minimum cycle length and how many vertices
+/// realize it, over per-vertex `SCCnt` results in id order.
+fn girth_fold(results: impl Iterator<Item = Option<CycleCount>>) -> Option<(u32, usize)> {
+    let mut best: Option<(u32, usize)> = None;
+    for c in results.flatten() {
+        best = Some(match best {
+            None => (c.length, 1),
+            Some((b, _)) if c.length < b => (c.length, 1),
+            Some((b, k)) if c.length == b => (b, k + 1),
+            Some(keep) => keep,
         });
-        all.truncate(k);
-        all
+    }
+    best
+}
+
+/// Shared top-k screening: filter by `max_length`, order by count
+/// descending / length ascending / vertex id, truncate to `k`. Takes
+/// per-vertex `SCCnt` results in id order.
+fn rank_by_cycle_count(
+    results: impl Iterator<Item = Option<CycleCount>>,
+    k: usize,
+    max_length: u32,
+) -> Vec<VertexCycles> {
+    let mut all: Vec<VertexCycles> = results
+        .enumerate()
+        .filter_map(|(v, c)| {
+            c.map(|cycles| VertexCycles {
+                vertex: VertexId(v as u32),
+                cycles,
+            })
+        })
+        .filter(|vc| vc.cycles.length <= max_length)
+        .collect();
+    all.sort_by(|a, b| {
+        b.cycles
+            .count
+            .cmp(&a.cycles.count)
+            .then(a.cycles.length.cmp(&b.cycles.length))
+            .then(a.vertex.cmp(&b.vertex))
+    });
+    all.truncate(k);
+    all
+}
+
+impl SnapshotIndex {
+    /// The girth and shortest-cycle incidence count of the snapshotted
+    /// graph (same contract as [`CscIndex::girth`]), with the `O(n)` label
+    /// intersections evaluated in parallel on the frozen arena.
+    pub fn girth(&self) -> Option<(u32, usize)> {
+        girth_fold(self.query_all().into_iter())
+    }
+
+    /// The `k` most cycle-laden vertices among those whose shortest cycle
+    /// is at most `max_length` (same contract and ordering as
+    /// [`CscIndex::top_k_by_cycle_count`]), with the per-vertex queries
+    /// evaluated in parallel on the frozen arena.
+    pub fn top_k_by_cycle_count(&self, k: usize, max_length: u32) -> Vec<VertexCycles> {
+        rank_by_cycle_count(self.query_all().into_iter(), k, max_length)
     }
 }
 
@@ -140,9 +187,7 @@ mod tests {
             .unwrap();
         assert!(report.entries_inserted > 0);
         assert_eq!(idx.query(VertexId(0)).unwrap().length, 4);
-        let report = idx
-            .remove_edges([(VertexId(3), VertexId(0))])
-            .unwrap();
+        let report = idx.remove_edges([(VertexId(3), VertexId(0))]).unwrap();
         assert!(report.entries_removed > 0);
         assert_eq!(idx.query(VertexId(0)), None);
     }
@@ -202,6 +247,22 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_sweeps_match_live_index() {
+        let g = gnm(60, 240, 13);
+        let idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let snap = idx.freeze();
+        assert_eq!(snap.girth(), idx.girth());
+        assert_eq!(
+            snap.top_k_by_cycle_count(10, u32::MAX),
+            idx.top_k_by_cycle_count(10, u32::MAX)
+        );
+        assert_eq!(
+            snap.top_k_by_cycle_count(3, 4),
+            idx.top_k_by_cycle_count(3, 4)
+        );
+    }
+
+    #[test]
     fn top_k_screening_finds_planted_rings() {
         let net = laundering_network(
             LaunderingParams {
@@ -216,9 +277,11 @@ mod tests {
         let idx = CscIndex::build(&net.graph, CscConfig::default()).unwrap();
         let top = idx.top_k_by_cycle_count(4, net.cycle_len);
         assert_eq!(top.len(), 4);
-        let planted: std::collections::HashSet<u32> =
-            net.criminals.iter().map(|c| c.0).collect();
-        let hits = top.iter().filter(|vc| planted.contains(&vc.vertex.0)).count();
+        let planted: std::collections::HashSet<u32> = net.criminals.iter().map(|c| c.0).collect();
+        let hits = top
+            .iter()
+            .filter(|vc| planted.contains(&vc.vertex.0))
+            .count();
         assert!(hits >= 3, "screening recovered only {hits}/4 rings");
         // Ordered by count descending.
         for w in top.windows(2) {

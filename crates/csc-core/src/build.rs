@@ -21,9 +21,7 @@
 use crate::invert::InvertedIndex;
 use csc_graph::bipartite::{couple, is_in_vertex};
 use csc_graph::{Csr, DiGraph, RankTable, VertexId};
-use csc_labeling::{
-    HubCache, LabelEntry, LabelSide, LabelingError, Labels, SearchState, INF,
-};
+use csc_labeling::{HubCache, LabelEntry, LabelSide, LabelingError, Labels, SearchState, INF};
 
 /// Adjacency access abstraction: the static build runs over a cache-friendly
 /// [`Csr`] snapshot, while dynamic maintenance traverses the live
@@ -121,13 +119,12 @@ impl CoupleBfs {
         dist: u32,
         count: u64,
     ) -> Result<(), LabelingError> {
-        let entry = LabelEntry::new(hub_rank, dist, count).map_err(|source| {
-            LabelingError::Entry {
+        let entry =
+            LabelEntry::new(hub_rank, dist, count).map_err(|source| LabelingError::Entry {
                 hub,
                 vertex: v,
                 source,
-            }
-        })?;
+            })?;
         if entry.count_saturated() {
             counters.saturated += 1;
         }
@@ -213,12 +210,28 @@ impl CoupleBfs {
             // Label w and, via couple skipping, its outgoing couple.
             let wo = couple(w);
             Self::write(
-                labels, inverted.as_deref_mut(), counters, mode,
-                w, LabelSide::In, hub, hub_rank, dw, cw,
+                labels,
+                inverted.as_deref_mut(),
+                counters,
+                mode,
+                w,
+                LabelSide::In,
+                hub,
+                hub_rank,
+                dw,
+                cw,
             )?;
             Self::write(
-                labels, inverted.as_deref_mut(), counters, mode,
-                wo, LabelSide::In, hub, hub_rank, dw + 1, cw,
+                labels,
+                inverted.as_deref_mut(),
+                counters,
+                mode,
+                wo,
+                LabelSide::In,
+                hub,
+                hub_rank,
+                dw + 1,
+                cw,
             )?;
 
             state.visit(wo, dw + 1, cw);
@@ -265,8 +278,16 @@ impl CoupleBfs {
         counters.dequeues += 1;
         counters.canonical += 1;
         Self::write(
-            labels, inverted.as_deref_mut(), counters, mode,
-            hub, LabelSide::Out, hub, hub_rank, 0, 1,
+            labels,
+            inverted.as_deref_mut(),
+            counters,
+            mode,
+            hub,
+            LabelSide::Out,
+            hub,
+            hub_rank,
+            0,
+            1,
         )?;
         for &xo in graph.pred(hub) {
             let xo = VertexId(xo); // in V_out (self-loops are impossible)
@@ -294,8 +315,16 @@ impl CoupleBfs {
             }
 
             Self::write(
-                labels, inverted.as_deref_mut(), counters, mode,
-                w, LabelSide::Out, hub, hub_rank, dw, cw,
+                labels,
+                inverted.as_deref_mut(),
+                counters,
+                mode,
+                w,
+                LabelSide::Out,
+                hub,
+                hub_rank,
+                dw,
+                cw,
             )?;
             if w == hub_couple {
                 // The traversal closed a cycle back onto the hub's couple:
@@ -312,8 +341,16 @@ impl CoupleBfs {
 
             let wi = couple(w);
             Self::write(
-                labels, inverted.as_deref_mut(), counters, mode,
-                wi, LabelSide::Out, hub, hub_rank, dw + 1, cw,
+                labels,
+                inverted.as_deref_mut(),
+                counters,
+                mode,
+                wi,
+                LabelSide::Out,
+                hub,
+                hub_rank,
+                dw + 1,
+                cw,
             )?;
             state.visit(wi, dw + 1, cw);
             for &yo in graph.pred(wi) {
@@ -348,18 +385,33 @@ pub(crate) fn build_labels(
     let mut bfs = CoupleBfs::new(n);
     for hub in ranks.by_rank() {
         if is_in_vertex(hub) {
-            bfs.run_in(csr, ranks, &mut labels, None, counters, hub, WriteMode::Append)?;
-            bfs.run_out(csr, ranks, &mut labels, None, counters, hub, WriteMode::Append)?;
+            bfs.run_in(
+                csr,
+                ranks,
+                &mut labels,
+                None,
+                counters,
+                hub,
+                WriteMode::Append,
+            )?;
+            bfs.run_out(
+                csr,
+                ranks,
+                &mut labels,
+                None,
+                counters,
+                hub,
+                WriteMode::Append,
+            )?;
         } else {
             // V_out vertices never act as hubs for other vertices
             // (Algorithm 3 lines 6-8): self labels only.
             let r = ranks.rank(hub);
-            let self_entry =
-                LabelEntry::new(r, 0, 1).map_err(|source| LabelingError::Entry {
-                    hub,
-                    vertex: hub,
-                    source,
-                })?;
+            let self_entry = LabelEntry::new(r, 0, 1).map_err(|source| LabelingError::Entry {
+                hub,
+                vertex: hub,
+                source,
+            })?;
             labels.append(hub, LabelSide::In, self_entry);
             labels.append(hub, LabelSide::Out, self_entry);
             counters.canonical += 2;

@@ -102,7 +102,14 @@ mod tests {
         let mut inv = InvertedIndex::from_labels(&labels);
         let ranks = identity_ranks(3);
         let mut report = UpdateReport::default();
-        clean_label(&mut labels, &mut inv, &ranks, VertexId(2), LabelSide::In, &mut report);
+        clean_label(
+            &mut labels,
+            &mut inv,
+            &ranks,
+            VertexId(2),
+            LabelSide::In,
+            &mut report,
+        );
         assert_eq!(report.entries_removed, 1);
         assert!(labels.entry_for(VertexId(2), LabelSide::In, 0).is_none());
         assert!(labels.entry_for(VertexId(2), LabelSide::In, 1).is_some());
@@ -118,7 +125,14 @@ mod tests {
         let mut inv = InvertedIndex::from_labels(&labels);
         let ranks = identity_ranks(2);
         let mut report = UpdateReport::default();
-        clean_label(&mut labels, &mut inv, &ranks, VertexId(1), LabelSide::In, &mut report);
+        clean_label(
+            &mut labels,
+            &mut inv,
+            &ranks,
+            VertexId(1),
+            LabelSide::In,
+            &mut report,
+        );
         assert_eq!(report.entries_removed, 0);
         assert_eq!(labels.total_entries(), 3);
     }
@@ -136,7 +150,14 @@ mod tests {
         let ranks = identity_ranks(3);
         let mut report = UpdateReport::default();
         // New shorter paths arrived *into* vertex 1.
-        clean_label(&mut labels, &mut inv, &ranks, VertexId(1), LabelSide::In, &mut report);
+        clean_label(
+            &mut labels,
+            &mut inv,
+            &ranks,
+            VertexId(1),
+            LabelSide::In,
+            &mut report,
+        );
         assert_eq!(report.entries_removed, 1);
         assert!(labels.entry_for(VertexId(2), LabelSide::Out, 1).is_none());
         inv.validate_against(&labels).unwrap();

@@ -1,61 +1,163 @@
-//! A thread-safe wrapper for live monitoring workloads.
+//! A thread-safe wrapper for live monitoring workloads, built on snapshot
+//! publication.
 //!
 //! The motivating applications (fraud screening, P2P routing) query
-//! continuously while a single writer applies the edge stream.
-//! [`ConcurrentIndex`] wraps a [`CscIndex`] in a `parking_lot::RwLock`:
-//! queries take shared read locks (microseconds each, so contention stays
-//! negligible), and updates serialize through the write lock. Wrap it in an
-//! [`std::sync::Arc`] to share across threads.
+//! continuously while a single writer applies the edge stream. The naive
+//! design — one `RwLock` around the whole index, shared read locks per
+//! query — makes every reader contend with the writer: one long deletion
+//! stalls all query traffic.
+//!
+//! [`ConcurrentIndex`] instead splits the two roles:
+//!
+//! * **Writers** hold the index lock, apply `insert_edge` / `remove_edge`,
+//!   and periodically *publish* an immutable [`SnapshotIndex`] (an
+//!   `O(total entries)` freeze into a flat arena, amortized by
+//!   [`CscConfig::snapshot_every`]).
+//! * **Readers** grab the current `Arc<SnapshotIndex>` — the only shared
+//!   state they touch is the publication slot, whose critical section is a
+//!   single `Arc` clone / pointer swap, never held across label
+//!   maintenance — and then query it entirely lock-free. A reader that
+//!   keeps its `Arc` issues any number of queries against one consistent
+//!   state with **zero** synchronization, no matter what the writer is
+//!   doing.
+//!
+//! Snapshot reads may lag the writer by up to `snapshot_every - 1`
+//! updates; use [`query_fresh`](ConcurrentIndex::query_fresh) or
+//! [`with_read`](ConcurrentIndex::with_read) when read-your-writes
+//! semantics are required (those take the index read lock like the old
+//! design did).
 
 use crate::error::CscError;
 use crate::index::CscIndex;
-use crate::stats::UpdateReport;
+use crate::snapshot::SnapshotIndex;
+use crate::stats::{SnapshotStats, UpdateReport};
 use csc_graph::VertexId;
 use csc_labeling::CycleCount;
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
-/// A read-mostly, single-writer handle around a [`CscIndex`].
+/// A read-mostly, single-writer handle around a [`CscIndex`] that serves
+/// queries from lock-free snapshots.
 pub struct ConcurrentIndex {
+    /// Writer state: the live, mutable index.
     inner: RwLock<CscIndex>,
+    /// Publication slot. Critical sections are O(1) (`Arc` clone / swap),
+    /// so readers never wait on label maintenance happening under `inner`.
+    snapshot: RwLock<Arc<SnapshotIndex>>,
+    /// Successful updates since the last publication.
+    pending: AtomicUsize,
+    /// Snapshots published (including the initial freeze).
+    published: AtomicUsize,
+    /// `CscConfig::snapshot_every` captured at construction.
+    refresh_every: usize,
 }
 
 impl ConcurrentIndex {
-    /// Wraps an index.
+    /// Wraps an index, freezing and publishing its initial snapshot.
     pub fn new(index: CscIndex) -> Self {
+        let refresh_every = index.config().snapshot_every;
+        let snapshot = Arc::new(index.freeze());
         ConcurrentIndex {
             inner: RwLock::new(index),
+            snapshot: RwLock::new(snapshot),
+            pending: AtomicUsize::new(0),
+            published: AtomicUsize::new(1),
+            refresh_every,
         }
     }
 
-    /// `SCCnt(v)` under a shared read lock.
+    /// The currently published snapshot. Cheap (`Arc` clone); hold on to
+    /// the result to issue many queries against one consistent state with
+    /// no further synchronization.
+    pub fn snapshot(&self) -> Arc<SnapshotIndex> {
+        self.snapshot.read().clone()
+    }
+
+    /// `SCCnt(v)` on the published snapshot — the lock-free serving path.
+    ///
+    /// May lag the writer by up to `snapshot_every - 1` updates; see
+    /// [`query_fresh`](Self::query_fresh) for read-your-writes.
     pub fn query(&self, v: VertexId) -> Option<CycleCount> {
+        self.snapshot.read().query(v)
+    }
+
+    /// `SCCnt(v)` against the live index under its read lock. Exact, but
+    /// contends with the writer — reserve for read-your-writes needs.
+    pub fn query_fresh(&self, v: VertexId) -> Option<CycleCount> {
         self.inner.read().query(v)
     }
 
-    /// Evaluates `f` over the index under a read lock (for batch queries
-    /// that should see one consistent snapshot).
+    /// Evaluates `f` over the live index under its read lock (for batch
+    /// reads that need the very latest consistent state).
     pub fn with_read<R>(&self, f: impl FnOnce(&CscIndex) -> R) -> R {
         f(&self.inner.read())
     }
 
-    /// Inserts an edge under the write lock.
+    /// Inserts an edge under the write lock, republishing the snapshot
+    /// when the refresh policy says so.
     pub fn insert_edge(&self, a: VertexId, b: VertexId) -> Result<UpdateReport, CscError> {
-        self.inner.write().insert_edge(a, b)
+        let mut guard = self.inner.write();
+        let report = guard.insert_edge(a, b)?;
+        self.after_update(&guard);
+        Ok(report)
     }
 
-    /// Removes an edge under the write lock.
+    /// Removes an edge under the write lock, republishing the snapshot
+    /// when the refresh policy says so.
     pub fn remove_edge(&self, a: VertexId, b: VertexId) -> Result<UpdateReport, CscError> {
-        self.inner.write().remove_edge(a, b)
+        let mut guard = self.inner.write();
+        let report = guard.remove_edge(a, b)?;
+        self.after_update(&guard);
+        Ok(report)
     }
 
-    /// Appends a fresh vertex under the write lock.
+    /// Appends a fresh vertex under the write lock. Counts as an update
+    /// toward the refresh policy; until the next publication, snapshot
+    /// readers simply answer `None` for the not-yet-covered vertex.
     pub fn add_vertex(&self) -> VertexId {
-        self.inner.write().add_vertex()
+        let mut guard = self.inner.write();
+        let v = guard.add_vertex();
+        self.after_update(&guard);
+        v
+    }
+
+    /// Freezes and publishes a snapshot of the current state now,
+    /// regardless of the refresh policy.
+    pub fn refresh(&self) {
+        // A read lock suffices: freezing only reads, and publication has
+        // its own slot lock.
+        let guard = self.inner.read();
+        self.publish(&guard);
+    }
+
+    /// Publication statistics: how many snapshots have been published and
+    /// how stale the served one is.
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        SnapshotStats {
+            published: self.published.load(Ordering::Relaxed),
+            pending_updates: self.pending.load(Ordering::Relaxed),
+            snapshot_updates_applied: self.snapshot.read().updates_applied(),
+        }
     }
 
     /// Unwraps back into the plain index.
     pub fn into_inner(self) -> CscIndex {
         self.inner.into_inner()
+    }
+
+    fn after_update(&self, index: &CscIndex) {
+        let pending = self.pending.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.refresh_every > 0 && pending >= self.refresh_every {
+            self.publish(index);
+        }
+    }
+
+    fn publish(&self, index: &CscIndex) {
+        let fresh = Arc::new(index.freeze());
+        *self.snapshot.write() = fresh;
+        self.pending.store(0, Ordering::Relaxed);
+        self.published.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -105,7 +207,8 @@ mod tests {
             assert!(r.join().unwrap() > 0);
         }
 
-        // Final state matches the oracle.
+        // Final state matches the oracle — via the exact read path, and
+        // via the snapshot once the pending updates are published.
         let mut g2 = directed_cycle(8);
         g2.try_add_edge(VertexId(4), VertexId(0)).unwrap();
         shared.with_read(|idx| {
@@ -116,6 +219,15 @@ mod tests {
                 );
             }
         });
+        shared.refresh();
+        let snap = shared.snapshot();
+        for v in g2.vertices() {
+            assert_eq!(
+                snap.query(v).map(|c| (c.length, c.count)),
+                shortest_cycle_oracle(&g2, v),
+                "snapshot at {v}"
+            );
+        }
         let back = Arc::try_unwrap(shared).ok().unwrap().into_inner();
         assert_eq!(back.original_edge_count(), 9);
     }
@@ -123,10 +235,93 @@ mod tests {
     #[test]
     fn add_vertex_through_wrapper() {
         let g = directed_cycle(3);
-        let shared: ConcurrentIndex =
-            CscIndex::build(&g, CscConfig::default()).unwrap().into();
+        let shared: ConcurrentIndex = CscIndex::build(&g, CscConfig::default()).unwrap().into();
         let nv = shared.add_vertex();
         shared.insert_edge(VertexId(0), nv).unwrap();
+        // Whether or not these two updates crossed the refresh interval,
+        // an isolated / not-yet-covered vertex answers None.
         assert_eq!(shared.query(nv), None);
+        assert_eq!(shared.query_fresh(nv), None);
+    }
+
+    #[test]
+    fn add_vertex_respects_manual_only_policy() {
+        let g = directed_cycle(3);
+        let config = CscConfig::default().with_snapshot_every(0);
+        let shared = ConcurrentIndex::new(CscIndex::build(&g, config).unwrap());
+        shared.add_vertex();
+        let stats = shared.snapshot_stats();
+        assert_eq!(
+            (stats.published, stats.pending_updates),
+            (1, 1),
+            "snapshot_every = 0 must never auto-publish, even for add_vertex"
+        );
+        assert_eq!(shared.snapshot().original_vertex_count(), 3, "pinned");
+        shared.refresh();
+        assert_eq!(shared.snapshot().original_vertex_count(), 4);
+    }
+
+    #[test]
+    fn refresh_policy_amortizes_publication() {
+        let g = directed_cycle(8);
+        let config = CscConfig::default().with_snapshot_every(3);
+        let shared = ConcurrentIndex::new(CscIndex::build(&g, config).unwrap());
+        assert_eq!(shared.snapshot_stats().published, 1);
+
+        // Two updates: below the interval, snapshot still the original.
+        shared.insert_edge(VertexId(4), VertexId(0)).unwrap();
+        shared.insert_edge(VertexId(6), VertexId(0)).unwrap();
+        let stats = shared.snapshot_stats();
+        assert_eq!((stats.published, stats.pending_updates), (1, 2));
+        assert_eq!(shared.query(VertexId(0)).unwrap().length, 8, "stale read");
+        assert_eq!(
+            shared.query_fresh(VertexId(0)).unwrap().length,
+            5,
+            "fresh read sees the 0..4 chord"
+        );
+
+        // Third update crosses the interval: auto-republish.
+        shared.insert_edge(VertexId(2), VertexId(0)).unwrap();
+        let stats = shared.snapshot_stats();
+        assert_eq!((stats.published, stats.pending_updates), (2, 0));
+        assert_eq!(stats.snapshot_updates_applied, 3);
+        assert_eq!(shared.query(VertexId(0)).unwrap().length, 3);
+    }
+
+    #[test]
+    fn manual_refresh_and_disabled_auto() {
+        let g = directed_cycle(5);
+        let config = CscConfig::default().with_snapshot_every(0);
+        let shared = ConcurrentIndex::new(CscIndex::build(&g, config).unwrap());
+        shared.insert_edge(VertexId(2), VertexId(0)).unwrap();
+        shared.insert_edge(VertexId(3), VertexId(0)).unwrap();
+        assert_eq!(shared.query(VertexId(0)).unwrap().length, 5, "never auto");
+        shared.refresh();
+        assert_eq!(shared.query(VertexId(0)).unwrap().length, 3);
+        assert_eq!(shared.snapshot_stats().published, 2);
+    }
+
+    #[test]
+    fn held_snapshot_stays_consistent_across_updates() {
+        let g = directed_cycle(6);
+        let config = CscConfig::default().with_snapshot_every(1);
+        let shared = ConcurrentIndex::new(CscIndex::build(&g, config).unwrap());
+        let held = shared.snapshot();
+        shared.insert_edge(VertexId(3), VertexId(0)).unwrap();
+        // The held Arc still answers from its freeze point...
+        assert_eq!(held.query(VertexId(0)).unwrap().length, 6);
+        // ...while new snapshot grabs see the update.
+        assert_eq!(shared.snapshot().query(VertexId(0)).unwrap().length, 4);
+    }
+
+    #[test]
+    fn failed_updates_do_not_count_toward_refresh() {
+        let g = directed_cycle(4);
+        let config = CscConfig::default().with_snapshot_every(2);
+        let shared = ConcurrentIndex::new(CscIndex::build(&g, config).unwrap());
+        assert!(shared.insert_edge(VertexId(0), VertexId(0)).is_err());
+        assert!(shared.insert_edge(VertexId(0), VertexId(1)).is_err());
+        let stats = shared.snapshot_stats();
+        assert_eq!((stats.published, stats.pending_updates), (1, 0));
     }
 }

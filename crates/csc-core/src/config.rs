@@ -35,6 +35,20 @@ pub struct CscConfig {
     /// deletions fall back to a full label scan. Costs one `u32` of memory
     /// per label entry.
     pub maintain_inverted: bool,
+    /// How often [`ConcurrentIndex`](crate::ConcurrentIndex) republishes
+    /// its read snapshot: after every `snapshot_every`-th successful
+    /// update (`insert_edge`, `remove_edge`, or `add_vertex`).
+    ///
+    /// Each publication freezes the whole label store — `O(total
+    /// entries)`, dwarfing the incremental cost of the update itself on
+    /// large indexes — so the default of `8` amortizes that over a burst
+    /// while bounding snapshot-reader staleness at 7 updates. Set `1` to
+    /// republish after every update (readers always fresh, writer pays a
+    /// freeze per update), or `0` to disable automatic republication
+    /// entirely and call
+    /// [`ConcurrentIndex::refresh`](crate::ConcurrentIndex::refresh)
+    /// manually.
+    pub snapshot_every: usize,
 }
 
 impl Default for CscConfig {
@@ -43,6 +57,7 @@ impl Default for CscConfig {
             order: OrderingStrategy::Degree,
             update_strategy: UpdateStrategy::Redundancy,
             maintain_inverted: true,
+            snapshot_every: 8,
         }
     }
 }
@@ -75,6 +90,13 @@ impl CscConfig {
         self.maintain_inverted = on || self.update_strategy == UpdateStrategy::Minimality;
         self
     }
+
+    /// Builder-style: set the snapshot republication interval (see
+    /// [`CscConfig::snapshot_every`]).
+    pub fn with_snapshot_every(mut self, every: usize) -> Self {
+        self.snapshot_every = every;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -87,7 +109,18 @@ mod tests {
         assert_eq!(c.order, OrderingStrategy::Degree);
         assert_eq!(c.update_strategy, UpdateStrategy::Redundancy);
         assert!(c.maintain_inverted);
+        assert_eq!(c.snapshot_every, 8, "freeze cost amortized by default");
         assert_eq!(CscConfig::recommended(), c);
+    }
+
+    #[test]
+    fn snapshot_interval_builder() {
+        let c = CscConfig::default().with_snapshot_every(64);
+        assert_eq!(c.snapshot_every, 64);
+        assert_eq!(
+            CscConfig::default().with_snapshot_every(0).snapshot_every,
+            0
+        );
     }
 
     #[test]

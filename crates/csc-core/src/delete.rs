@@ -114,8 +114,7 @@ impl CscIndex {
             if !is_in_vertex(vid) {
                 continue;
             }
-            let crosses_fwd =
-                matches!((to_ao[v], to_bi[v]), (Some(da), Some(db)) if da + 1 == db);
+            let crosses_fwd = matches!((to_ao[v], to_bi[v]), (Some(da), Some(db)) if da + 1 == db);
             let crosses_bwd =
                 matches!((from_bi[v], from_ao[v]), (Some(db), Some(da)) if db + 1 == da);
             if !crosses_fwd && !crosses_bwd {
@@ -155,8 +154,14 @@ impl CscIndex {
                 self.labels.entry_for(bi, LabelSide::Out, rank)
             }
             .expect("classification verified the entry");
-            match self.subtract_pass(rank, vk, if forward { bi } else { ao }, seed, forward, report)
-            {
+            match self.subtract_pass(
+                rank,
+                vk,
+                if forward { bi } else { ao },
+                seed,
+                forward,
+                report,
+            ) {
                 SubtractOutcome::Done => {}
                 SubtractOutcome::Demote => {
                     // Saturated counts: recompute this hub from scratch.
@@ -235,14 +240,24 @@ impl CscIndex {
             report.affected_hubs += 1;
             if fwd {
                 workspace.run_in(
-                    graph, ranks, labels, inverted.as_mut(),
-                    &mut counters, hub, WriteMode::Upsert,
+                    graph,
+                    ranks,
+                    labels,
+                    inverted.as_mut(),
+                    &mut counters,
+                    hub,
+                    WriteMode::Upsert,
                 )?;
             }
             if bwd {
                 workspace.run_out(
-                    graph, ranks, labels, inverted.as_mut(),
-                    &mut counters, hub, WriteMode::Upsert,
+                    graph,
+                    ranks,
+                    labels,
+                    inverted.as_mut(),
+                    &mut counters,
+                    hub,
+                    WriteMode::Upsert,
                 )?;
             }
         }
@@ -319,7 +334,11 @@ impl CscIndex {
                 }
             }
 
-            let nbrs = if forward { graph.nbr_out(w) } else { graph.nbr_in(w) };
+            let nbrs = if forward {
+                graph.nbr_out(w)
+            } else {
+                graph.nbr_in(w)
+            };
             for &u in nbrs {
                 let u = VertexId(u);
                 if !state.visited(u) {
@@ -341,7 +360,10 @@ impl CscIndex {
                 }
                 report.entries_removed += 1;
             } else {
-                let e = self.labels.entry_for(w, target_side, vk_rank).expect("buffered");
+                let e = self
+                    .labels
+                    .entry_for(w, target_side, vk_rank)
+                    .expect("buffered");
                 let updated = LabelEntry::new_unchecked(vk_rank, e.dist(), remaining);
                 self.labels.upsert(w, target_side, updated);
                 report.entries_updated += 1;
@@ -407,10 +429,7 @@ mod tests {
         // Two parallel 3-cycles through 0; deleting one leaves the other.
         // This exercises the count-repair (subtraction) regime: distances
         // to the endpoints are unchanged for most hubs.
-        let g = DiGraph::from_edges(
-            5,
-            vec![(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)],
-        );
+        let g = DiGraph::from_edges(5, vec![(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]);
         let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
         assert_eq!(idx.query(VertexId(0)).unwrap().count, 2);
         idx.remove_edge(VertexId(3), VertexId(4)).unwrap();

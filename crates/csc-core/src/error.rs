@@ -65,6 +65,8 @@ mod tests {
         assert!(e.to_string().contains("self-loop"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(CscError::Poisoned.to_string().contains("rebuild"));
-        assert!(CscError::Serial("bad magic".into()).to_string().contains("bad magic"));
+        assert!(CscError::Serial("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
     }
 }

@@ -179,9 +179,7 @@ impl CscIndex {
 
     /// `true` if the original edge `(a, b)` is currently indexed.
     pub fn contains_edge(&self, a: VertexId, b: VertexId) -> bool {
-        if a.index() >= self.original_vertex_count()
-            || b.index() >= self.original_vertex_count()
-        {
+        if a.index() >= self.original_vertex_count() || b.index() >= self.original_vertex_count() {
             return false;
         }
         self.gb.graph().has_edge(out_vertex(a), in_vertex(b))

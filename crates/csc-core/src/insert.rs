@@ -45,9 +45,7 @@ use crate::invert::InvertedIndex;
 use crate::stats::UpdateReport;
 use csc_graph::bipartite::is_in_vertex;
 use csc_graph::{DiGraph, RankTable, VertexId};
-use csc_labeling::{
-    HubCache, LabelEntry, LabelSide, LabelingError, Labels, SearchState, INF,
-};
+use csc_labeling::{HubCache, LabelEntry, LabelSide, LabelingError, Labels, SearchState, INF};
 use std::time::Instant;
 
 impl CscIndex {
@@ -116,18 +114,40 @@ impl CscIndex {
                     let seed = hub_a[i];
                     report.affected_hubs += 1;
                     maintenance_pass(
-                        graph, ranks, labels, inverted, state, cache,
-                        config.update_strategy, Direction::Forward,
-                        r, vk, bi, seed.dist() + 1, seed.count(), report,
+                        graph,
+                        ranks,
+                        labels,
+                        inverted,
+                        state,
+                        cache,
+                        config.update_strategy,
+                        Direction::Forward,
+                        r,
+                        vk,
+                        bi,
+                        seed.dist() + 1,
+                        seed.count(),
+                        report,
                     )?;
                 }
                 if rb == r && r < rank_ao {
                     let seed = hub_b[j];
                     report.affected_hubs += 1;
                     maintenance_pass(
-                        graph, ranks, labels, inverted, state, cache,
-                        config.update_strategy, Direction::Backward,
-                        r, vk, ao, seed.dist() + 1, seed.count(), report,
+                        graph,
+                        ranks,
+                        labels,
+                        inverted,
+                        state,
+                        cache,
+                        config.update_strategy,
+                        Direction::Backward,
+                        r,
+                        vk,
+                        ao,
+                        seed.dist() + 1,
+                        seed.count(),
+                        report,
                     )?;
                 }
             }
@@ -202,7 +222,15 @@ pub(crate) fn maintenance_pass(
         }
 
         let improved = update_label(
-            labels, inverted, w, target_side, vk, vk_rank, dw, cw, report,
+            labels,
+            inverted,
+            w,
+            target_side,
+            vk,
+            vk_rank,
+            dw,
+            cw,
+            report,
         )?;
         if improved && strategy == UpdateStrategy::Minimality {
             let inv = inverted
@@ -244,7 +272,11 @@ fn update_label(
     c: u64,
     report: &mut UpdateReport,
 ) -> Result<bool, LabelingError> {
-    let wrap = |source| LabelingError::Entry { hub: vk, vertex: w, source };
+    let wrap = |source| LabelingError::Entry {
+        hub: vk,
+        vertex: w,
+        source,
+    };
     match labels.entry_for(w, side, vk_rank) {
         Some(old) => {
             if d < old.dist() {
@@ -358,7 +390,9 @@ mod tests {
             let mut added = 0;
             let mut s = seed;
             while added < 25 {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let a = VertexId((s >> 33) as u32 % 20);
                 let b = VertexId((s >> 13) as u32 % 20);
                 if a == b || g.has_edge(a, b) {

@@ -47,6 +47,7 @@ mod insert;
 mod invert;
 pub mod reduction;
 pub mod serial;
+pub mod snapshot;
 pub mod stats;
 pub mod verify;
 
@@ -54,7 +55,8 @@ pub use concurrent::ConcurrentIndex;
 pub use config::{CscConfig, UpdateStrategy};
 pub use error::CscError;
 pub use index::CscIndex;
-pub use stats::{IndexStats, UpdateReport};
+pub use snapshot::SnapshotIndex;
+pub use stats::{IndexStats, SnapshotStats, UpdateReport};
 
 // Re-exported so downstream users need only this crate for common work.
-pub use csc_labeling::CycleCount;
+pub use csc_labeling::{CycleCount, FrozenLabels, LabelStore};

@@ -66,8 +66,7 @@ impl ReducedIndex {
             in_of_vi.push(labels.in_of(vi).to_vec());
             out_of_vo.push(labels.out_of(vo).to_vec());
             if recoverable {
-                recoverable = derive_in_of_vo(labels.in_of(vi), index.ranks().rank(vo))
-                    .as_deref()
+                recoverable = derive_in_of_vo(labels.in_of(vi), index.ranks().rank(vo)).as_deref()
                     == Some(labels.in_of(vo))
                     && derive_out_of_vi(
                         labels.out_of(vo),
@@ -94,10 +93,8 @@ impl ReducedIndex {
     /// `SCCnt(v)` on the reduced snapshot — identical answers to the full
     /// index it was built from.
     pub fn query(&self, v: VertexId) -> Option<CycleCount> {
-        let dc = csc_labeling::labels::intersect(
-            &self.out_of_vo[v.index()],
-            &self.in_of_vi[v.index()],
-        )?;
+        let dc =
+            csc_labeling::labels::intersect(&self.out_of_vo[v.index()], &self.in_of_vi[v.index()])?;
         Some(CycleCount::new(dc.dist.div_ceil(2), dc.count))
     }
 
@@ -139,13 +136,11 @@ impl ReducedIndex {
             for &e in &self.in_of_vi[v.index()] {
                 labels.append(vi, LabelSide::In, e);
             }
-            for e in derive_in_of_vo(&self.in_of_vi[v.index()], ro)
-                .expect("checked recoverable")
-            {
+            for e in derive_in_of_vo(&self.in_of_vi[v.index()], ro).expect("checked recoverable") {
                 labels.append(vo, LabelSide::In, e);
             }
-            for e in derive_out_of_vi(&self.out_of_vo[v.index()], ri, ro)
-                .expect("checked recoverable")
+            for e in
+                derive_out_of_vi(&self.out_of_vo[v.index()], ri, ro).expect("checked recoverable")
             {
                 labels.append(vi, LabelSide::Out, e);
             }

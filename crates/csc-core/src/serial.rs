@@ -9,15 +9,19 @@
 //! Layout (little-endian):
 //!
 //! ```text
-//! magic  "CSCIDX\x01\n"                       8 bytes
+//! magic  "CSCIDX\x02\n"                       8 bytes
 //! n      original vertex count                u32
 //! m      original edge count                  u64
 //! edges  (u32, u32) * m
 //! ranks  vertex_at[rank] for 2n ranks         u32 * 2n
-//! config order tag + seed, strategy, inverted u8, u64, u8, u8
+//! config order tag + seed, strategy, inverted,
+//!        snapshot refresh interval            u8, u64, u8, u8, u32
 //! labels per bipartite vertex: in-len u32, in entries u64*,
 //!        out-len u32, out entries u64*
 //! ```
+//!
+//! (Format `\x01` predates the snapshot refresh interval; there are no
+//! persisted `\x01` indexes to migrate, so it is simply rejected.)
 
 use crate::build::CoupleBfs;
 use crate::config::{CscConfig, UpdateStrategy};
@@ -30,7 +34,7 @@ use csc_graph::bipartite::BipartiteGraph;
 use csc_graph::{DiGraph, OrderingStrategy, RankTable, VertexId};
 use csc_labeling::{LabelEntry, LabelSide, Labels};
 
-const MAGIC: &[u8; 8] = b"CSCIDX\x01\n";
+const MAGIC: &[u8; 8] = b"CSCIDX\x02\n";
 
 fn order_tag(o: OrderingStrategy) -> (u8, u64) {
     match o {
@@ -63,8 +67,7 @@ impl CscIndex {
         let n = self.original_vertex_count();
         let m = self.original_edge_count();
         let two_n = 2 * n;
-        let mut buf =
-            BytesMut::with_capacity(64 + m * 8 + two_n * 4 + self.total_entries() * 9);
+        let mut buf = BytesMut::with_capacity(64 + m * 8 + two_n * 4 + self.total_entries() * 9);
         buf.put_slice(MAGIC);
         buf.put_u32_le(n as u32);
         buf.put_u64_le(m as u64);
@@ -83,6 +86,10 @@ impl CscIndex {
             UpdateStrategy::Minimality => 1,
         });
         buf.put_u8(self.config.maintain_inverted as u8);
+        buf.put_u32_le(
+            u32::try_from(self.config.snapshot_every)
+                .map_err(|_| CscError::Serial("snapshot_every exceeds u32".into()))?,
+        );
         for v in 0..two_n as u32 {
             let v = VertexId(v);
             for side in [LabelSide::In, LabelSide::Out] {
@@ -102,7 +109,9 @@ impl CscIndex {
         let mut buf = bytes;
         let need = |buf: &[u8], n: usize, what: &str| -> Result<(), CscError> {
             if buf.remaining() < n {
-                Err(CscError::Serial(format!("truncated input while reading {what}")))
+                Err(CscError::Serial(format!(
+                    "truncated input while reading {what}"
+                )))
             } else {
                 Ok(())
             }
@@ -130,21 +139,21 @@ impl CscIndex {
         for _ in 0..two_n {
             order.push(VertexId(buf.get_u32_le()));
         }
-        need(buf, 11, "config")?;
+        need(buf, 15, "config")?;
         let tag = buf.get_u8();
         let seed = buf.get_u64_le();
         let strategy = match buf.get_u8() {
             0 => UpdateStrategy::Redundancy,
             1 => UpdateStrategy::Minimality,
-            other => {
-                return Err(CscError::Serial(format!("unknown update strategy {other}")))
-            }
+            other => return Err(CscError::Serial(format!("unknown update strategy {other}"))),
         };
         let maintain_inverted = buf.get_u8() != 0;
+        let snapshot_every = buf.get_u32_le() as usize;
         let config = CscConfig {
             order: order_from_tag(tag, seed)?,
             update_strategy: strategy,
             maintain_inverted,
+            snapshot_every,
         };
 
         let mut labels = Labels::new(two_n);
@@ -256,7 +265,10 @@ mod tests {
         let bytes = idx.to_bytes().unwrap();
         for cut in [9, 20, bytes.len() / 2, bytes.len() - 1] {
             assert!(
-                matches!(CscIndex::from_bytes(&bytes[..cut]), Err(CscError::Serial(_))),
+                matches!(
+                    CscIndex::from_bytes(&bytes[..cut]),
+                    Err(CscError::Serial(_))
+                ),
                 "cut at {cut} must fail"
             );
         }

@@ -1,0 +1,205 @@
+//! Immutable point-in-time query engines frozen from a [`CscIndex`].
+//!
+//! A [`SnapshotIndex`] packages everything the `SCCnt` read path needs —
+//! the frozen label arena, the bipartite rank table, and the original
+//! vertex count — with no interior mutability. Because it is immutable it
+//! is `Sync` for free: share one behind an `Arc` across any number of
+//! reader threads and every query runs lock-free, while the writer keeps
+//! maintaining the mutable [`CscIndex`] elsewhere (see
+//! [`ConcurrentIndex`](crate::ConcurrentIndex) for the publication
+//! machinery).
+//!
+//! Queries evaluate on [`FrozenLabels`]: one contiguous arena where the
+//! two lists a cycle query intersects sit adjacent in memory, driven by the
+//! adaptive (branchless merge / galloping) kernel. The equivalence of this
+//! path with `CscIndex::query` is property-tested in
+//! `csc-labeling/tests/frozen_equivalence.rs`.
+
+use crate::index::CscIndex;
+use csc_graph::bipartite::{in_vertex, out_vertex};
+use csc_graph::{RankTable, VertexId};
+use csc_labeling::{CycleCount, DistCount, FrozenLabels, LabelStore};
+use rayon::prelude::*;
+
+/// An immutable snapshot of a [`CscIndex`]'s query state.
+#[derive(Clone, Debug)]
+pub struct SnapshotIndex {
+    frozen: FrozenLabels,
+    ranks: RankTable,
+    original_n: usize,
+    updates_applied: u64,
+}
+
+impl SnapshotIndex {
+    /// Freezes the current state of `index`. `O(total label entries)`.
+    ///
+    /// The arena is laid out in couple-query order — `Lout(v_o)` directly
+    /// followed by `Lin(v_i)` for every original vertex `v` — so each
+    /// `SCCnt(v)` intersection reads one contiguous, prefetcher-friendly
+    /// region.
+    pub fn freeze(index: &CscIndex) -> Self {
+        let stats = index.stats();
+        let n = index.original_vertex_count();
+        let couple_order = (0..n as u32).flat_map(|v| {
+            let v = VertexId(v);
+            [
+                (out_vertex(v), csc_labeling::LabelSide::Out),
+                (in_vertex(v), csc_labeling::LabelSide::In),
+            ]
+        });
+        SnapshotIndex {
+            frozen: FrozenLabels::freeze_ordered(index.labels(), couple_order),
+            ranks: index.ranks().clone(),
+            original_n: n,
+            updates_applied: (stats.insertions + stats.deletions) as u64,
+        }
+    }
+
+    /// `SCCnt(v)` on the snapshot: length and count of the shortest cycles
+    /// through `v`, or `None` if no cycle passes through `v`.
+    ///
+    /// Unlike [`CscIndex::query`] this returns `None` (rather than
+    /// panicking) for out-of-range vertices: a reader may hold a snapshot
+    /// frozen before `v` was added, and stale-but-safe is the contract
+    /// here.
+    #[inline]
+    pub fn query(&self, v: VertexId) -> Option<CycleCount> {
+        let dc = self.query_raw(v)?;
+        debug_assert_eq!(dc.dist % 2, 1, "V_out ~> V_in distances are odd");
+        Some(CycleCount::new(dc.dist.div_ceil(2), dc.count))
+    }
+
+    /// The raw bipartite `(distance, count)` behind [`query`](Self::query).
+    #[inline]
+    pub fn query_raw(&self, v: VertexId) -> Option<DistCount> {
+        if v.index() >= self.original_n {
+            return None;
+        }
+        self.frozen.dist_count(out_vertex(v), in_vertex(v))
+    }
+
+    /// `SCCnt` for a batch of vertices, evaluated in parallel. Output order
+    /// matches input order.
+    pub fn query_batch(&self, vertices: &[VertexId]) -> Vec<Option<CycleCount>> {
+        vertices.par_iter().map(|&v| self.query(v)).collect()
+    }
+
+    /// `SCCnt` for every vertex (an analytics sweep), in parallel.
+    pub fn query_all(&self) -> Vec<Option<CycleCount>> {
+        (0..self.original_n as u32)
+            .into_par_iter()
+            .map(|v| self.query(VertexId(v)))
+            .collect()
+    }
+
+    /// Number of vertices in the snapshotted (original) graph.
+    #[inline]
+    pub fn original_vertex_count(&self) -> usize {
+        self.original_n
+    }
+
+    /// The frozen label arena.
+    pub fn labels(&self) -> &FrozenLabels {
+        &self.frozen
+    }
+
+    /// The bipartite rank table at freeze time.
+    pub fn ranks(&self) -> &RankTable {
+        &self.ranks
+    }
+
+    /// Total label entries in the snapshot.
+    pub fn total_entries(&self) -> usize {
+        self.frozen.total_entries()
+    }
+
+    /// Snapshot size in bytes (arena + offsets).
+    pub fn index_bytes(&self) -> usize {
+        self.frozen.arena_bytes()
+    }
+
+    /// How many updates (`insert_edge` + `remove_edge`) the source index
+    /// had applied when this snapshot was frozen. Monotone across
+    /// republications, so readers can order snapshots.
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied
+    }
+}
+
+impl CscIndex {
+    /// Freezes an immutable [`SnapshotIndex`] of the current state —
+    /// shorthand for [`SnapshotIndex::freeze`].
+    pub fn freeze(&self) -> SnapshotIndex {
+        SnapshotIndex::freeze(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CscConfig;
+    use csc_graph::generators::{directed_cycle, gnm};
+    use csc_graph::traversal::shortest_cycle_oracle;
+
+    #[test]
+    fn snapshot_matches_live_index_everywhere() {
+        let g = gnm(40, 160, 3);
+        let idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let snap = idx.freeze();
+        assert_eq!(snap.original_vertex_count(), 40);
+        assert_eq!(snap.total_entries(), idx.total_entries());
+        for v in g.vertices() {
+            assert_eq!(snap.query(v), idx.query(v), "SCCnt({v})");
+            assert_eq!(snap.query_raw(v), idx.query_raw(v));
+            assert_eq!(
+                snap.query(v).map(|c| (c.length, c.count)),
+                shortest_cycle_oracle(&g, v)
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_is_a_point_in_time() {
+        let g = directed_cycle(6);
+        let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let before = idx.freeze();
+        assert_eq!(before.updates_applied(), 0);
+        idx.insert_edge(VertexId(3), VertexId(0)).unwrap();
+        let after = idx.freeze();
+        assert_eq!(after.updates_applied(), 1);
+        // The old snapshot still answers from the pre-update state.
+        assert_eq!(before.query(VertexId(0)).unwrap().length, 6);
+        assert_eq!(after.query(VertexId(0)).unwrap().length, 4);
+    }
+
+    #[test]
+    fn out_of_range_is_none_not_panic() {
+        let idx = CscIndex::build(&directed_cycle(3), CscConfig::default()).unwrap();
+        let snap = idx.freeze();
+        assert_eq!(snap.query(VertexId(3)), None);
+        assert_eq!(snap.query_raw(VertexId(99)), None);
+    }
+
+    #[test]
+    fn batch_and_all_match_pointwise_queries() {
+        let g = gnm(120, 500, 9);
+        let idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let snap = idx.freeze();
+        let all = snap.query_all();
+        assert_eq!(all.len(), 120);
+        for v in g.vertices() {
+            assert_eq!(all[v.index()], idx.query(v), "query_all at {v}");
+        }
+        let some: Vec<VertexId> = g.vertices().step_by(7).collect();
+        let batch = snap.query_batch(&some);
+        for (v, got) in some.iter().zip(&batch) {
+            assert_eq!(*got, idx.query(*v), "query_batch at {v}");
+        }
+    }
+
+    #[test]
+    fn snapshot_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SnapshotIndex>();
+    }
+}

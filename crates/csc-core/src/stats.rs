@@ -45,6 +45,20 @@ impl UpdateReport {
     }
 }
 
+/// Publication-side statistics of a
+/// [`ConcurrentIndex`](crate::ConcurrentIndex)'s snapshot pipeline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Snapshots published since construction (including the initial one).
+    pub published: usize,
+    /// Successful updates applied since the last publication — how stale
+    /// the currently served snapshot is, in updates.
+    pub pending_updates: usize,
+    /// Updates the source index had applied when the served snapshot was
+    /// frozen.
+    pub snapshot_updates_applied: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -56,7 +56,9 @@ pub fn verify_index(index: &CscIndex) -> Result<(), String> {
         let fwd = bfs_distances(gb, hub);
         let bwd = csc_graph::traversal::bfs_distances_dir(gb, hub, false);
         for v in gb.vertices() {
-            if let Some(e) = index.labels().entry_for(v, csc_labeling::LabelSide::In, hub_rank)
+            if let Some(e) = index
+                .labels()
+                .entry_for(v, csc_labeling::LabelSide::In, hub_rank)
             {
                 if !is_in_vertex(hub) && hub != v {
                     return Err(format!("V_out vertex {hub} is a hub of Lin({v})"));
@@ -83,8 +85,9 @@ pub fn verify_index(index: &CscIndex) -> Result<(), String> {
                     _ => {}
                 }
             }
-            if let Some(e) =
-                index.labels().entry_for(v, csc_labeling::LabelSide::Out, hub_rank)
+            if let Some(e) = index
+                .labels()
+                .entry_for(v, csc_labeling::LabelSide::Out, hub_rank)
             {
                 if !is_in_vertex(hub) && hub != v {
                     return Err(format!("V_out vertex {hub} is a hub of Lout({v})"));
@@ -120,7 +123,9 @@ pub fn verify_index(index: &CscIndex) -> Result<(), String> {
         let got = index.query(v).map(|c| (c.length, c.count));
         let want = shortest_cycle_oracle(&g, v);
         if got != want {
-            return Err(format!("SCCnt({v}): index says {got:?}, oracle says {want:?}"));
+            return Err(format!(
+                "SCCnt({v}): index says {got:?}, oracle says {want:?}"
+            ));
         }
     }
     Ok(())

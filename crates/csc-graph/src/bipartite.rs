@@ -239,10 +239,7 @@ mod tests {
         let g = crate::fixtures::figure2();
         let gb = BipartiteGraph::from_graph(&g);
         assert_eq!(gb.graph().vertex_count(), 2 * g.vertex_count());
-        assert_eq!(
-            gb.graph().edge_count(),
-            g.vertex_count() + g.edge_count()
-        );
+        assert_eq!(gb.graph().edge_count(), g.vertex_count() + g.edge_count());
         assert_eq!(gb.original_edge_count(), g.edge_count());
         gb.validate().unwrap();
     }

@@ -73,10 +73,10 @@ impl DiGraph {
 
     /// Iterates all edges in `(source, target)` order, deterministically.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        self.out.iter().enumerate().flat_map(|(u, nbrs)| {
-            nbrs.iter()
-                .map(move |&v| (VertexId(u as u32), VertexId(v)))
-        })
+        self.out
+            .iter()
+            .enumerate()
+            .flat_map(|(u, nbrs)| nbrs.iter().map(move |&v| (VertexId(u as u32), VertexId(v))))
     }
 
     /// Out-neighbors (successors) of `v`, sorted ascending.

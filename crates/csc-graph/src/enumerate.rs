@@ -44,6 +44,7 @@ pub fn enumerate_shortest_cycles(g: &DiGraph, v: VertexId, limit: usize) -> Vec<
     let mut cycles = Vec::new();
     let mut path = vec![v];
     let mut stack: Vec<(VertexId, u32)> = Vec::new(); // (vertex, remaining)
+    #[allow(clippy::too_many_arguments)]
     fn dfs(
         g: &DiGraph,
         v: VertexId,
@@ -82,7 +83,16 @@ pub fn enumerate_shortest_cycles(g: &DiGraph, v: VertexId, limit: usize) -> Vec<
         }
     }
     let _ = &mut stack;
-    dfs(g, v, &dist_back, &mut path, &mut cycles, limit, v, cycle_len);
+    dfs(
+        g,
+        v,
+        &dist_back,
+        &mut path,
+        &mut cycles,
+        limit,
+        v,
+        cycle_len,
+    );
     cycles
 }
 

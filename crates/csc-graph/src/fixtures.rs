@@ -37,7 +37,8 @@ pub fn figure2() -> DiGraph {
     ];
     let mut g = DiGraph::new(10);
     for (u, w) in edges {
-        g.try_add_edge(pv(u), pv(w)).expect("fixture edges are valid");
+        g.try_add_edge(pv(u), pv(w))
+            .expect("fixture edges are valid");
     }
     g
 }
@@ -49,7 +50,10 @@ pub fn figure2() -> DiGraph {
 /// on ties) of [`figure2`]; the paper's Table II labels are produced under
 /// exactly this order.
 pub fn figure2_order() -> Vec<VertexId> {
-    [1, 7, 4, 10, 2, 3, 5, 6, 8, 9].iter().map(|&i| pv(i)).collect()
+    [1, 7, 4, 10, 2, 3, 5, 6, 8, 9]
+        .iter()
+        .map(|&i| pv(i))
+        .collect()
 }
 
 #[cfg(test)]

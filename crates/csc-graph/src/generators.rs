@@ -37,7 +37,8 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> DiGraph {
         }
         rand::seq::SliceRandom::shuffle(&mut all[..], &mut rng);
         for &(u, v) in all.iter().take(m) {
-            g.try_add_edge(VertexId(u), VertexId(v)).expect("unique by construction");
+            g.try_add_edge(VertexId(u), VertexId(v))
+                .expect("unique by construction");
         }
         return g;
     }
@@ -46,7 +47,8 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> DiGraph {
         let u = rng.gen_range(0..n as u32);
         let v = rng.gen_range(0..n as u32);
         if u != v && seen.insert((u, v)) {
-            g.try_add_edge(VertexId(u), VertexId(v)).expect("deduplicated");
+            g.try_add_edge(VertexId(u), VertexId(v))
+                .expect("deduplicated");
         }
     }
     g
@@ -72,8 +74,7 @@ pub fn preferential_attachment(n: usize, k: usize, reciprocal_prob: f64, seed: u
             let t = urn[rng.gen_range(0..urn.len())];
             if t != v && g.try_add_edge(VertexId(v), VertexId(t)).is_ok() {
                 urn.push(t);
-                if rng.gen_bool(reciprocal_prob)
-                    && g.try_add_edge(VertexId(t), VertexId(v)).is_ok()
+                if rng.gen_bool(reciprocal_prob) && g.try_add_edge(VertexId(t), VertexId(v)).is_ok()
                 {
                     urn.push(v);
                 }
@@ -145,7 +146,8 @@ pub fn directed_cycle(n: usize) -> DiGraph {
 pub fn directed_path(n: usize) -> DiGraph {
     let mut g = DiGraph::new(n);
     for v in 1..n as u32 {
-        g.try_add_edge(VertexId(v - 1), VertexId(v)).expect("path edges are valid");
+        g.try_add_edge(VertexId(v - 1), VertexId(v))
+            .expect("path edges are valid");
     }
     g
 }
@@ -273,7 +275,8 @@ pub fn laundering_network(params: LaunderingParams, seed: u64) -> LaunderingNetw
     for v in first_planted..accounts {
         let v = VertexId(v as u32);
         for w in g.nbr_out(v).to_vec() {
-            g.try_remove_edge(v, VertexId(w)).expect("listed edge exists");
+            g.try_remove_edge(v, VertexId(w))
+                .expect("listed edge exists");
         }
     }
     let mut next = first_planted;
@@ -357,10 +360,7 @@ mod tests {
     #[test]
     fn preferential_attachment_reciprocity_creates_two_cycles() {
         let g = preferential_attachment(300, 2, 1.0, 11);
-        let mutual = g
-            .edges()
-            .filter(|&(u, v)| g.has_edge(v, u))
-            .count();
+        let mutual = g.edges().filter(|&(u, v)| g.has_edge(v, u)).count();
         assert!(mutual > 100, "reciprocal edges should dominate: {mutual}");
     }
 

@@ -15,8 +15,7 @@ use rand::SeedableRng;
 pub type Rank = u32;
 
 /// Strategy for computing the total vertex order.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum OrderingStrategy {
     /// Total degree (in + out) descending, vertex id ascending on ties.
     /// This is the paper's order (Example 4) and the default.
@@ -31,7 +30,6 @@ pub enum OrderingStrategy {
     /// that correctness is order-independent (index *size* is not).
     Random(u64),
 }
-
 
 /// A bijection between vertices and ranks.
 #[derive(Clone, Debug, PartialEq, Eq)]

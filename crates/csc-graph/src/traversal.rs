@@ -106,7 +106,10 @@ pub fn shortest_cycle_oracle(g: &DiGraph, v: VertexId) -> Option<(u32, u64)> {
 
 /// Vertices reachable from `src` (including `src`), as a boolean mask.
 pub fn reachable_from(g: &DiGraph, src: VertexId) -> Vec<bool> {
-    bfs_distances(g, src).into_iter().map(|d| d.is_some()).collect()
+    bfs_distances(g, src)
+        .into_iter()
+        .map(|d| d.is_some())
+        .collect()
 }
 
 /// Brute-force all-pairs shortest distances (test-sized graphs only).
@@ -180,10 +183,7 @@ mod tests {
     #[test]
     fn cycle_oracle_counts_parallel_cycles() {
         // Two vertex-disjoint length-3 cycles through 0.
-        let g = DiGraph::from_edges(
-            5,
-            vec![(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)],
-        );
+        let g = DiGraph::from_edges(5, vec![(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]);
         assert_eq!(shortest_cycle_oracle(&g, v(0)), Some((3, 2)));
     }
 

@@ -9,10 +9,7 @@ use proptest::prelude::*;
 /// An arbitrary edit script over a fixed vertex set.
 fn arb_edits() -> impl Strategy<Value = (usize, Vec<(u8, u8, bool)>)> {
     (3usize..24).prop_flat_map(|n| {
-        let edits = proptest::collection::vec(
-            (0..n as u8, 0..n as u8, any::<bool>()),
-            0..60,
-        );
+        let edits = proptest::collection::vec((0..n as u8, 0..n as u8, any::<bool>()), 0..60);
         (Just(n), edits)
     })
 }

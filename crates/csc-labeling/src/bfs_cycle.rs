@@ -102,7 +102,10 @@ mod tests {
     fn engine_reuse_is_clean_across_graphs() {
         let mut engine = BfsCycleEngine::new(4);
         let small = directed_cycle(4);
-        assert_eq!(engine.query(&small, VertexId(0)), Some(CycleCount::new(4, 1)));
+        assert_eq!(
+            engine.query(&small, VertexId(0)),
+            Some(CycleCount::new(4, 1))
+        );
         // Larger graph afterwards: state must grow and stay correct.
         let big = small_world(100, 2, 0.2, 9);
         for v in big.vertices() {
@@ -113,7 +116,10 @@ mod tests {
             );
         }
         // And the small graph again.
-        assert_eq!(engine.query(&small, VertexId(2)), Some(CycleCount::new(4, 1)));
+        assert_eq!(
+            engine.query(&small, VertexId(2)),
+            Some(CycleCount::new(4, 1))
+        );
     }
 
     #[test]

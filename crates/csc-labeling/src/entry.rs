@@ -42,7 +42,10 @@ impl fmt::Display for EntryOverflow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EntryOverflow::HubRank(r) => {
-                write!(f, "hub rank {r} exceeds the 23-bit entry limit {MAX_HUB_RANK}")
+                write!(
+                    f,
+                    "hub rank {r} exceeds the 23-bit entry limit {MAX_HUB_RANK}"
+                )
             }
             EntryOverflow::Distance(d) => {
                 write!(f, "distance {d} exceeds the 17-bit entry limit {MAX_DIST}")
@@ -75,9 +78,7 @@ impl LabelEntry {
         }
         let count = count.min(MAX_COUNT);
         Ok(LabelEntry(
-            ((hub_rank as u64) << (DIST_BITS + COUNT_BITS))
-                | ((dist as u64) << COUNT_BITS)
-                | count,
+            ((hub_rank as u64) << (DIST_BITS + COUNT_BITS)) | ((dist as u64) << COUNT_BITS) | count,
         ))
     }
 

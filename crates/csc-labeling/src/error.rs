@@ -29,10 +29,20 @@ impl fmt::Display for LabelingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LabelingError::TooManyVertices { got, max } => {
-                write!(f, "graph has {got} vertices; labeling supports at most {max}")
+                write!(
+                    f,
+                    "graph has {got} vertices; labeling supports at most {max}"
+                )
             }
-            LabelingError::Entry { hub, vertex, source } => {
-                write!(f, "label entry overflow at hub {hub}, vertex {vertex}: {source}")
+            LabelingError::Entry {
+                hub,
+                vertex,
+                source,
+            } => {
+                write!(
+                    f,
+                    "label entry overflow at hub {hub}, vertex {vertex}: {source}"
+                )
             }
         }
     }

@@ -80,7 +80,11 @@ impl HpSpcIndex {
             engine.run(&csr, &ranks, &mut labels, &mut stats, hub, false)?;
         }
         stats.build_time = start.elapsed();
-        Ok(HpSpcIndex { labels, ranks, stats })
+        Ok(HpSpcIndex {
+            labels,
+            ranks,
+            stats,
+        })
     }
 
     /// The label store.

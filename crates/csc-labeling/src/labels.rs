@@ -43,6 +43,10 @@ pub struct DistCount {
 pub struct Labels {
     in_labels: Vec<Vec<LabelEntry>>,
     out_labels: Vec<Vec<LabelEntry>>,
+    /// Maintained by every mutation so [`Labels::total_entries`] — called
+    /// on each `UpdateReport` — stays O(1) instead of re-summing `2n`
+    /// vectors.
+    entry_count: usize,
 }
 
 impl Labels {
@@ -51,6 +55,7 @@ impl Labels {
         Labels {
             in_labels: vec![Vec::new(); n],
             out_labels: vec![Vec::new(); n],
+            entry_count: 0,
         }
     }
 
@@ -103,10 +108,12 @@ impl Labels {
     pub fn append(&mut self, v: VertexId, side: LabelSide, entry: LabelEntry) {
         let list = self.side_mut(v, side);
         debug_assert!(
-            list.last().is_none_or(|last| last.hub_rank() < entry.hub_rank()),
+            list.last()
+                .is_none_or(|last| last.hub_rank() < entry.hub_rank()),
             "append would break hub-rank order at {v:?}"
         );
         list.push(entry);
+        self.entry_count += 1;
     }
 
     /// Inserts or replaces the entry for `entry.hub_rank()` at `v`,
@@ -123,6 +130,7 @@ impl Labels {
             Ok(pos) => Some(std::mem::replace(&mut list[pos], entry)),
             Err(pos) => {
                 list.insert(pos, entry);
+                self.entry_count += 1;
                 None
             }
         }
@@ -138,15 +146,14 @@ impl Labels {
     }
 
     /// Removes the entry with hub rank `hub_rank` at `v`. Returns it.
-    pub fn remove(
-        &mut self,
-        v: VertexId,
-        side: LabelSide,
-        hub_rank: u32,
-    ) -> Option<LabelEntry> {
+    pub fn remove(&mut self, v: VertexId, side: LabelSide, hub_rank: u32) -> Option<LabelEntry> {
         let list = self.side_mut(v, side);
         match list.binary_search_by_key(&hub_rank, |e| e.hub_rank()) {
-            Ok(pos) => Some(list.remove(pos)),
+            Ok(pos) => {
+                let removed = list.remove(pos);
+                self.entry_count -= 1;
+                Some(removed)
+            }
             Err(_) => None,
         }
     }
@@ -169,6 +176,7 @@ impl Labels {
                 true
             }
         });
+        self.entry_count -= removed.len();
         removed
     }
 
@@ -184,8 +192,19 @@ impl Labels {
         self.dist_count(s, t).map(|dc| dc.dist)
     }
 
-    /// Total number of stored label entries.
+    /// Total number of stored label entries. O(1): maintained by every
+    /// mutation rather than re-summed per call (this runs inside every
+    /// `UpdateReport` on the update hot path).
+    #[inline]
     pub fn total_entries(&self) -> usize {
+        debug_assert_eq!(self.entry_count, self.recount_entries());
+        self.entry_count
+    }
+
+    /// Recomputes the entry total from the lists (O(n) ground truth for
+    /// the maintained counter; used by `validate_sorted` and debug
+    /// assertions).
+    fn recount_entries(&self) -> usize {
         let ins: usize = self.in_labels.iter().map(Vec::len).sum();
         let outs: usize = self.out_labels.iter().map(Vec::len).sum();
         ins + outs
@@ -218,6 +237,13 @@ impl Labels {
                 return Err(format!("out-labels of vertex {v} are not sorted/unique"));
             }
         }
+        if self.entry_count != self.recount_entries() {
+            return Err(format!(
+                "entry counter {} diverged from stored entries {}",
+                self.entry_count,
+                self.recount_entries()
+            ));
+        }
         Ok(())
     }
 }
@@ -244,8 +270,7 @@ pub fn intersect(out_s: &[LabelEntry], in_t: &[LabelEntry]) -> Option<DistCount>
                     best_dist = d;
                     best_count = a.count().saturating_mul(b.count());
                 } else if d == best_dist {
-                    best_count =
-                        best_count.saturating_add(a.count().saturating_mul(b.count()));
+                    best_count = best_count.saturating_add(a.count().saturating_mul(b.count()));
                 }
                 i += 1;
                 j += 1;
@@ -332,10 +357,7 @@ mod tests {
         assert_eq!(l.upsert(v(0), LabelSide::In, e(5, 4, 1)), None);
         assert_eq!(l.upsert(v(0), LabelSide::In, e(2, 1, 1)), None);
         // Replace hub 5.
-        assert_eq!(
-            l.upsert(v(0), LabelSide::In, e(5, 3, 7)),
-            Some(e(5, 4, 1))
-        );
+        assert_eq!(l.upsert(v(0), LabelSide::In, e(5, 3, 7)), Some(e(5, 4, 1)));
         l.validate_sorted().unwrap();
         assert_eq!(l.entry_for(v(0), LabelSide::In, 5), Some(e(5, 3, 7)));
         assert_eq!(l.entry_for(v(0), LabelSide::In, 9), None);

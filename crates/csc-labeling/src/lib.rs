@@ -14,6 +14,13 @@
 //! The building blocks ([`LabelEntry`], [`Labels`], [`SearchState`],
 //! [`HubCache`]) are shared with `csc-core`, which layers the bipartite
 //! conversion and couple-vertex skipping on the same machinery.
+//!
+//! Label storage is two-tier: [`Labels`] (nested per-vertex `Vec`s) is the
+//! mutable maintenance layout, and [`FrozenLabels`] is the read-optimized
+//! contiguous arena frozen from it for serving, with the adaptive
+//! intersection kernel ([`intersect_adaptive`]: branchless dual-chain
+//! merge + galloping). Both answer identically through the [`LabelStore`]
+//! trait — see the [`frozen`] module.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +29,7 @@ pub mod bfs_cycle;
 pub mod cycle;
 pub mod entry;
 pub mod error;
+pub mod frozen;
 pub mod hpspc;
 pub mod labels;
 pub mod scc_baseline;
@@ -31,6 +39,7 @@ pub use bfs_cycle::{scc_count_bfs, BfsCycleEngine};
 pub use cycle::CycleCount;
 pub use entry::{EntryOverflow, LabelEntry, MAX_COUNT, MAX_DIST, MAX_HUB_RANK};
 pub use error::LabelingError;
+pub use frozen::{intersect_adaptive, FrozenLabels, LabelStore};
 pub use hpspc::{BuildStats, HpSpcIndex};
 pub use labels::{DistCount, LabelSide, Labels};
 pub use state::{HubCache, SearchState, INF};

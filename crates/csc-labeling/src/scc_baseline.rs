@@ -58,13 +58,10 @@ mod tests {
     #[test]
     fn example_3_from_the_paper() {
         let g = figure2();
-        let idx = HpSpcIndex::build_with_ranks(&g, RankTable::from_order(&figure2_order()))
-            .unwrap();
+        let idx =
+            HpSpcIndex::build_with_ranks(&g, RankTable::from_order(&figure2_order())).unwrap();
         // SCCnt(v7) = 3 with cycle length 6.
-        assert_eq!(
-            scc_count(&idx, &g, pv(7)),
-            Some(CycleCount::new(6, 3))
-        );
+        assert_eq!(scc_count(&idx, &g, pv(7)), Some(CycleCount::new(6, 3)));
     }
 
     #[test]

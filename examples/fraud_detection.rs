@@ -51,7 +51,10 @@ fn main() -> Result<(), CscError> {
     suspects.sort_by(|a, b| b.2.cmp(&a.2).then(a.1.cmp(&b.1)));
 
     println!("top suspects by shortest-cycle profile:");
-    println!("{:<6} {:>8} {:>10} {:>9}  planted?", "rank", "account", "cycle len", "cycles");
+    println!(
+        "{:<6} {:>8} {:>10} {:>9}  planted?",
+        "rank", "account", "cycle len", "cycles"
+    );
     let planted: std::collections::HashSet<u32> = net.criminals.iter().map(|c| c.0).collect();
     let mut hits = 0;
     for (rank, (v, len, count)) in suspects.iter().take(8).enumerate() {
@@ -71,7 +74,10 @@ fn main() -> Result<(), CscError> {
         net.criminals.len(),
         net.criminals.len()
     );
-    assert!(hits * 2 >= net.criminals.len(), "screening should catch most rings");
+    assert!(
+        hits * 2 >= net.criminals.len(),
+        "screening should catch most rings"
+    );
 
     // Live monitoring: a *new* ring forms through a so-far clean account
     // (pick one that currently sits on no cycle at all).
@@ -85,10 +91,7 @@ fn main() -> Result<(), CscError> {
     for (a, b) in [(mule, hop1), (hop1, hop2), (hop2, mule)] {
         if !index.contains_edge(a, b) {
             let report = index.insert_edge(a, b)?;
-            println!(
-                "transaction {a} -> {b} indexed in {:?}",
-                report.duration
-            );
+            println!("transaction {a} -> {b} indexed in {:?}", report.duration);
         }
     }
     let after = index.query(mule).expect("mule now sits on a ring");

@@ -78,9 +78,7 @@ fn main() -> Result<(), CscError> {
         removed += 1;
         total += r.duration;
     }
-    println!(
-        "host {gone} went offline: {removed} links retired in {total:?} total"
-    );
+    println!("host {gone} went offline: {removed} links retired in {total:?} total");
     assert_eq!(index.query(gone), None, "offline host sits on no cycle");
 
     let best = overlay

@@ -13,7 +13,11 @@ fn main() -> Result<(), CscError> {
     let g = csc::graph::fixtures::figure2();
     let v7 = csc::graph::fixtures::pv(7);
 
-    println!("graph: {} vertices, {} edges", g.vertex_count(), g.edge_count());
+    println!(
+        "graph: {} vertices, {} edges",
+        g.vertex_count(),
+        g.edge_count()
+    );
 
     // 1. Build the CSC index.
     let mut index = CscIndex::build(&g, CscConfig::default())?;
@@ -26,7 +30,10 @@ fn main() -> Result<(), CscError> {
 
     // 2. Query: how many shortest cycles pass through v7?
     let c = index.query(v7).expect("v7 lies on cycles");
-    println!("SCCnt(v7) = {} shortest cycles of length {}", c.count, c.length);
+    println!(
+        "SCCnt(v7) = {} shortest cycles of length {}",
+        c.count, c.length
+    );
     assert_eq!((c.length, c.count), (6, 3)); // Example 1 of the paper
 
     // 3. The graph evolves: a new edge creates a shortcut cycle.
@@ -44,12 +51,18 @@ fn main() -> Result<(), CscError> {
     index.remove_edge(csc::graph::fixtures::pv(8), v7)?;
     let c = index.query(v7).expect("original cycles restored");
     assert_eq!((c.length, c.count), (6, 3));
-    println!("after deletion SCCnt(v7) is back to {} cycles of length {}", c.count, c.length);
+    println!(
+        "after deletion SCCnt(v7) is back to {} cycles of length {}",
+        c.count, c.length
+    );
 
     // 5. Compare against the index-free baseline: same answers, no index.
     let baseline = scc_count_bfs(&g, v7).unwrap();
     assert_eq!((baseline.length, baseline.count), (6, 3));
-    println!("BFS baseline agrees: {} cycles of length {}", baseline.count, baseline.length);
+    println!(
+        "BFS baseline agrees: {} cycles of length {}",
+        baseline.count, baseline.length
+    );
 
     Ok(())
 }

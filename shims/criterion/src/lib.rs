@@ -1,0 +1,298 @@
+//! Offline shim for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the subset this workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `Bencher::iter_batched`, `BenchmarkId`, `BatchSize`, `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros — with a real
+//! measurement loop: warmup, then timed samples, reporting the median and
+//! mean nanoseconds per iteration to stdout.
+//!
+//! Not reproduced from the real crate: statistical outlier analysis,
+//! HTML reports, and baseline comparison. For machine-readable output set
+//! `CRITERION_JSON=<path>`; each benchmark then appends one JSON line
+//! `{"group":..,"bench":..,"median_ns":..,"mean_ns":..,"samples":..}`.
+//!
+//! Tuning knobs (environment): `CRITERION_WARMUP_MS` (default 300),
+//! `CRITERION_MEASURE_MS` (default 1200, the per-benchmark time budget).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_ms(name: &str, default: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default),
+    )
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`, as the real crate renders it.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A bare id with no parameter part.
+    pub fn from_name(name: impl Into<String>) -> Self {
+        BenchmarkId { id: name.into() }
+    }
+}
+
+/// How `iter_batched` amortizes setup (the shim times one routine call per
+/// sample regardless, which matches `PerIteration`; the variants exist for
+/// source compatibility).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (e.g. a cloned index).
+    LargeInput,
+    /// One setup per timed call.
+    PerIteration,
+}
+
+/// One benchmark's measurement summary.
+#[derive(Clone, Debug)]
+struct Summary {
+    group: String,
+    bench: String,
+    median_ns: f64,
+    mean_ns: f64,
+    samples: usize,
+}
+
+fn report(summary: &Summary) {
+    println!(
+        "bench {:<50} median {:>12.1} ns/iter   mean {:>12.1} ns/iter   ({} samples)",
+        format!("{}/{}", summary.group, summary.bench),
+        summary.median_ns,
+        summary.mean_ns,
+        summary.samples
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"samples\":{}}}",
+                summary.group, summary.bench, summary.median_ns, summary.mean_ns, summary.samples
+            );
+        }
+    }
+}
+
+/// The timing context handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample nanoseconds per iteration, filled by `iter*`.
+    recorded: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times for stable samples.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let warmup = env_ms("CRITERION_WARMUP_MS", 300);
+        let budget = env_ms("CRITERION_MEASURE_MS", 1200);
+
+        // Warmup while estimating the per-iteration cost.
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < warmup || iters == 0 {
+            black_box(routine());
+            iters += 1;
+        }
+        let est_ns = (start.elapsed().as_nanos() as f64 / iters as f64).max(1.0);
+
+        // Aim each sample at ~budget/samples, at least one iteration.
+        let per_sample_ns = (budget.as_nanos() as f64 / self.samples as f64).max(est_ns);
+        let k = ((per_sample_ns / est_ns).round() as u64).max(1);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..k {
+                black_box(routine());
+            }
+            self.recorded.push(t.elapsed().as_nanos() as f64 / k as f64);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup time.
+    /// One setup + one timed call per sample.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Warmup: one untimed round.
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.recorded.push(t.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark (default 60).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    fn run_one(&mut self, bench: String, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            recorded: Vec::with_capacity(self.sample_size),
+        };
+        f(&mut bencher);
+        let mut ns = bencher.recorded;
+        assert!(
+            !ns.is_empty(),
+            "benchmark {}/{} recorded no samples (closure never called iter*)",
+            self.name,
+            bench
+        );
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = ns[ns.len() / 2];
+        let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+        let summary = Summary {
+            group: self.name.clone(),
+            bench,
+            median_ns: median,
+            mean_ns: mean,
+            samples: ns.len(),
+        };
+        report(&summary);
+        self.criterion.completed += 1;
+    }
+
+    /// Benchmarks `f` under `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run_one(id.id, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under a bare name.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        self.run_one(name.into(), f);
+        self
+    }
+
+    /// Ends the group (drop would do; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    completed: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 60,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut group = self.benchmark_group(name.to_string());
+        group.run_one(name.to_string(), f);
+        self
+    }
+}
+
+#[macro_export]
+/// Declares a benchmark group function, mirroring the real macro.
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+/// Declares the benchmark binary's `main`, mirroring the real macro.
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something_sane() {
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        std::env::set_var("CRITERION_MEASURE_MS", "10");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_unit");
+        group.sample_size(5);
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+        group.finish();
+        assert_eq!(c.completed, 3);
+    }
+}

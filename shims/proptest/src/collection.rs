@@ -1,0 +1,100 @@
+//! Collection strategies: `vec` and `btree_map`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates vectors of `element` values with lengths in `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeMap<K, V>` with a target entry count drawn from
+/// `size`.
+pub struct BTreeMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: Range<usize>,
+}
+
+/// Generates maps keyed by `keys` with `values`, sized within `size`.
+///
+/// Duplicate generated keys collapse, so when the key domain is small the
+/// realized size can fall below the drawn target (matching the real
+/// crate's behavior of treating `size` as an upper shape bound under
+/// collisions).
+pub fn btree_map<K: Strategy, V: Strategy>(
+    keys: K,
+    values: V,
+    size: Range<usize>,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    assert!(size.start < size.end, "empty btree_map size range");
+    BTreeMapStrategy { keys, values, size }
+}
+
+impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let target = rng.gen_range(self.size.clone());
+        let mut map = BTreeMap::new();
+        let mut attempts = 0;
+        while map.len() < target && attempts < target * 10 + 20 {
+            attempts += 1;
+            map.insert(self.keys.generate(rng), self.values.generate(rng));
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let s = vec(0u32..100, 2..6);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn btree_map_respects_bounds_and_dedups() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let s = btree_map(0u32..4, 0u64..10, 0..20);
+        for _ in 0..50 {
+            let m = s.generate(&mut rng);
+            // Only 4 distinct keys exist.
+            assert!(m.len() <= 4);
+        }
+    }
+}

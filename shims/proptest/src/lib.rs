@@ -1,0 +1,166 @@
+//! Offline shim for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! Implements the property-testing subset this workspace uses: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]` and multiple
+//! `#[test]` functions), the [`Strategy`](strategy::Strategy) trait with
+//! `prop_map` / `prop_flat_map` / `boxed`, integer-range / tuple / `any` /
+//! [`Just`](strategy::Just) strategies, [`collection::vec`] /
+//! [`collection::btree_map`], [`prop_oneof!`], and the
+//! `prop_assert!`-family macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated input, the case
+//!   number, and the per-case seed (every case is reproducible because the
+//!   stream is a pure function of the test name and case index), but the
+//!   input is not minimized.
+//! * **No persistence files.** There is no `proptest-regressions/`
+//!   directory; determinism makes reruns exact instead.
+//! * Case count comes from `ProptestConfig::with_cases(n)` (default 256),
+//!   overridable globally with the `PROPTEST_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The common import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Strategy combinators and primitive strategies.
+pub mod strategy_impls {}
+
+#[macro_export]
+/// Declares property tests. See the crate docs for the supported syntax.
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr); ) => {};
+    (
+        ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let strategy = ($($strat,)+);
+            $crate::test_runner::run_cases(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+                &strategy,
+                |__proptest_values| {
+                    let ($($pat,)+) = __proptest_values;
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_fns!(($config); $($rest)*);
+    };
+}
+
+#[macro_export]
+/// Asserts a condition inside a `proptest!` body, failing the case (with
+/// input reporting) rather than panicking directly.
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::string::String::from(concat!("assertion failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+/// Asserts two expressions are equal inside a `proptest!` body.
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{:?}` == `{:?}`", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    left,
+                    right,
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+/// Asserts two expressions differ inside a `proptest!` body.
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+/// Discards the current case when its precondition does not hold.
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+/// Uniform choice between strategies with a common value type.
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

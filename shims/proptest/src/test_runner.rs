@@ -1,0 +1,200 @@
+//! The case runner behind the `proptest!` macro.
+
+use crate::strategy::Strategy;
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Deterministic per-test RNG (re-exported from the rand shim).
+pub type TestRng = rand::rngs::StdRng;
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion failed: the property is violated.
+    Fail(String),
+    /// The case was discarded (`prop_assume!`); it does not count.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+
+    /// Builds a rejection.
+    pub fn reject(message: &str) -> Self {
+        TestCaseError::Reject(message.to_string())
+    }
+}
+
+/// Runner configuration (subset of the real struct).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+fn seed_for(test_name: &str, case: u32) -> u64 {
+    // FNV-1a over the name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ ((case as u64) << 32 | case as u64)
+}
+
+/// Drives `body` over `config.cases` generated inputs, panicking with a
+/// reproducible report on the first failure.
+pub fn run_cases<S, F>(config: ProptestConfig, test_name: &str, strategy: &S, mut body: F)
+where
+    S: Strategy,
+    S::Value: Debug,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    use rand::SeedableRng;
+    let cases = config.effective_cases();
+    let mut rejected = 0u32;
+    let max_rejects = cases.saturating_mul(8).max(1024);
+    let mut case = 0u32;
+    let mut passed = 0u32;
+    while passed < cases {
+        let seed = seed_for(test_name, case);
+        case += 1;
+        let mut rng = TestRng::seed_from_u64(seed);
+        let value = strategy.generate(&mut rng);
+        let described = format!("{value:?}");
+        match catch_unwind(AssertUnwindSafe(|| (body)(value))) {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "{test_name}: too many rejected cases ({rejected}); \
+                         weaken the prop_assume! conditions"
+                    );
+                }
+            }
+            Ok(Err(TestCaseError::Fail(message))) => {
+                panic!(
+                    "{test_name}: property failed at case {case} (seed {seed:#x}): \
+                     {message}\n  input: {described}"
+                );
+            }
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                panic!(
+                    "{test_name}: case {case} panicked (seed {seed:#x}): \
+                     {message}\n  input: {described}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut seen = 0u32;
+        run_cases(
+            ProptestConfig::with_cases(32),
+            "unit::pass",
+            &(0u32..10),
+            |v| {
+                assert!(v < 10);
+                seen += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(seen, 32);
+    }
+
+    #[test]
+    fn failing_property_reports_input() {
+        let result = std::panic::catch_unwind(|| {
+            run_cases(
+                ProptestConfig::with_cases(64),
+                "unit::fail",
+                &(0u32..100),
+                |v| {
+                    if v >= 50 {
+                        Err(TestCaseError::fail(format!("{v} too big")))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        });
+        let message = *result
+            .expect_err("must fail")
+            .downcast::<String>()
+            .expect("string payload");
+        assert!(message.contains("too big"), "{message}");
+        assert!(message.contains("input:"), "{message}");
+        assert!(message.contains("seed"), "{message}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let collect = || {
+            let mut vals = Vec::new();
+            run_cases(
+                ProptestConfig::with_cases(16),
+                "unit::det",
+                &(0u64..1_000_000),
+                |v| {
+                    vals.push(v);
+                    Ok(())
+                },
+            );
+            vals
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn rejections_do_not_count_as_passes() {
+        let mut accepted = 0u32;
+        run_cases(
+            ProptestConfig::with_cases(10),
+            "unit::reject",
+            &(0u32..100),
+            |v| {
+                if v % 2 == 1 {
+                    return Err(TestCaseError::reject("odd"));
+                }
+                accepted += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(accepted, 10);
+    }
+}

@@ -1,0 +1,367 @@
+//! Offline shim for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! Implements the data-parallel subset this workspace uses: `par_iter()`
+//! over slices and `into_par_iter()` over `Range<usize>` / `Range<u32>`,
+//! with `map` / `filter_map` / `for_each` / `collect` / `sum`. Instead of
+//! rayon's work-stealing pool, inputs are split into one contiguous chunk
+//! per available core and mapped on `std::thread::scope` threads; results
+//! are concatenated in order, so `collect::<Vec<_>>()` is
+//! order-preserving exactly like the real crate. Inputs smaller than a
+//! small cutoff run inline to avoid thread-spawn overhead.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Below this many items the "parallel" iterators run inline: spawning
+/// threads costs more than the work.
+const SEQUENTIAL_CUTOFF: usize = 512;
+
+fn worker_count(items: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(items.div_ceil(SEQUENTIAL_CUTOFF)).max(1)
+}
+
+/// Runs `f` on `threads` contiguous index chunks of `0..len`, returning the
+/// per-chunk outputs in chunk order.
+fn run_chunked<U: Send>(
+    len: usize,
+    threads: usize,
+    f: impl Fn(Range<usize>) -> Vec<U> + Sync,
+) -> Vec<Vec<U>> {
+    if threads <= 1 || len == 0 {
+        return vec![f(0..len)];
+    }
+    let chunk = len.div_ceil(threads);
+    let mut out: Vec<Vec<U>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = (lo + chunk).min(len);
+                let f = &f;
+                scope.spawn(move || f(lo..hi))
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    out
+}
+
+/// The common import surface (`use rayon::prelude::*`).
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// A finite, indexable source of items that can be mapped in parallel.
+///
+/// This collapses rayon's producer/consumer machinery into the one shape
+/// the shim needs: random access by index.
+pub trait ParallelSource: Sync + Sized {
+    /// Item produced per index.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// `true` if there are no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The item at `i` (`i < self.len()`).
+    fn get(&self, i: usize) -> Self::Item;
+}
+
+/// A parallel iterator: a source plus a composed per-item transform.
+pub struct ParIter<S, F> {
+    source: S,
+    transform: F,
+}
+
+/// Conversion into a parallel iterator by reference (`slice.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// Resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Borrowing parallel iterator over `self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Conversion into a parallel iterator by value (`(0..n).into_par_iter()`).
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// Resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Consuming parallel iterator over `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Source over a borrowed slice.
+pub struct SliceSource<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> ParallelSource for SliceSource<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn get(&self, i: usize) -> &'a T {
+        &self.0[i]
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<SliceSource<'a, T>, fn(&'a T) -> &'a T>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter {
+            source: SliceSource(self),
+            transform: |x| x,
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<SliceSource<'a, T>, fn(&'a T) -> &'a T>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.as_slice().par_iter()
+    }
+}
+
+macro_rules! impl_range_source {
+    ($($t:ty),*) => {$(
+        impl ParallelSource for Range<$t> {
+            type Item = $t;
+
+            fn len(&self) -> usize {
+                (self.end.saturating_sub(self.start)) as usize
+            }
+
+            fn get(&self, i: usize) -> $t {
+                self.start + i as $t
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<Range<$t>, fn($t) -> $t>;
+
+            fn into_par_iter(self) -> Self::Iter {
+                ParIter { source: self, transform: |x| x }
+            }
+        }
+    )*};
+}
+
+impl_range_source!(u32, u64, usize);
+
+/// The operations available on a parallel iterator (subset of the real
+/// trait; every adapter fuses into the terminal `collect`-style drive).
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item: Send;
+
+    /// Applies `op` to each item, yielding a new parallel iterator.
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync>(self, op: F) -> Map<Self, F>;
+
+    /// Applies `op`, keeping only `Some` results.
+    fn filter_map<U: Send, F: Fn(Self::Item) -> Option<U> + Sync>(
+        self,
+        op: F,
+    ) -> FilterMap<Self, F>;
+
+    /// Drives the iterator, materializing all items in order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Collects into a container (only `Vec<Item>` and containers with
+    /// `FromIterator<Item>` are supported).
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive().into_iter().collect()
+    }
+
+    /// Runs `op` on every item. The upstream adapter chain (where the
+    /// expensive work lives) runs on the worker threads; `op` itself runs
+    /// on the calling thread over the driven results.
+    fn for_each<F: Fn(Self::Item)>(self, op: F) {
+        for item in self.drive() {
+            op(item);
+        }
+    }
+
+    /// Sums the items.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.drive().into_iter().sum()
+    }
+
+    /// Item count.
+    fn count(self) -> usize {
+        self.drive().len()
+    }
+}
+
+/// A `map` adapter (exists so adapter chains type-check like real rayon).
+pub struct Map<I, F> {
+    inner: I,
+    op: F,
+}
+
+/// A `filter_map` adapter.
+pub struct FilterMap<I, F> {
+    inner: I,
+    op: F,
+}
+
+impl<S, F, U> ParallelIterator for ParIter<S, F>
+where
+    S: ParallelSource,
+    F: Fn(S::Item) -> U + Sync,
+    U: Send,
+{
+    type Item = U;
+
+    fn map<V: Send, G: Fn(U) -> V + Sync>(self, op: G) -> Map<Self, G> {
+        Map { inner: self, op }
+    }
+
+    fn filter_map<V: Send, G: Fn(U) -> Option<V> + Sync>(self, op: G) -> FilterMap<Self, G> {
+        FilterMap { inner: self, op }
+    }
+
+    fn drive(self) -> Vec<U> {
+        let len = self.source.len();
+        let threads = worker_count(len);
+        let source = &self.source;
+        let transform = &self.transform;
+        run_chunked(len, threads, |range| {
+            range.map(|i| transform(source.get(i))).collect()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+impl<S, F, U, G, V> ParallelIterator for Map<ParIter<S, F>, G>
+where
+    S: ParallelSource,
+    F: Fn(S::Item) -> U + Sync,
+    U: Send,
+    G: Fn(U) -> V + Sync,
+    V: Send,
+{
+    type Item = V;
+
+    fn map<W: Send, H: Fn(V) -> W + Sync>(self, op: H) -> Map<Self, H> {
+        Map { inner: self, op }
+    }
+
+    fn filter_map<W: Send, H: Fn(V) -> Option<W> + Sync>(self, op: H) -> FilterMap<Self, H> {
+        FilterMap { inner: self, op }
+    }
+
+    fn drive(self) -> Vec<V> {
+        let len = self.inner.source.len();
+        let threads = worker_count(len);
+        let source = &self.inner.source;
+        let first = &self.inner.transform;
+        let second = &self.op;
+        run_chunked(len, threads, |range| {
+            range.map(|i| second(first(source.get(i)))).collect()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+impl<S, F, U, G, V> ParallelIterator for FilterMap<ParIter<S, F>, G>
+where
+    S: ParallelSource,
+    F: Fn(S::Item) -> U + Sync,
+    U: Send,
+    G: Fn(U) -> Option<V> + Sync,
+    V: Send,
+{
+    type Item = V;
+
+    fn map<W: Send, H: Fn(V) -> W + Sync>(self, op: H) -> Map<Self, H> {
+        Map { inner: self, op }
+    }
+
+    fn filter_map<W: Send, H: Fn(V) -> Option<W> + Sync>(self, op: H) -> FilterMap<Self, H> {
+        FilterMap { inner: self, op }
+    }
+
+    fn drive(self) -> Vec<V> {
+        let len = self.inner.source.len();
+        let threads = worker_count(len);
+        let source = &self.inner.source;
+        let first = &self.inner.transform;
+        let second = &self.op;
+        run_chunked(len, threads, |range| {
+            range.filter_map(|i| second(first(source.get(i)))).collect()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_par_map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), 10_000);
+        assert!(doubled.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0usize..5_000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[4_999], 4_999 * 4_999);
+        let total: u64 = (0u64..1_000).into_par_iter().sum();
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn filter_map_drops_none() {
+        let xs: Vec<u32> = (0..2_000).collect();
+        let evens: Vec<u32> = xs
+            .par_iter()
+            .filter_map(|&x| (x % 2 == 0).then_some(x))
+            .collect();
+        assert_eq!(evens.len(), 1_000);
+        assert!(evens.windows(2).all(|w| w[0] < w[1]), "order preserved");
+    }
+
+    #[test]
+    fn for_each_and_small_inputs_run_inline() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        let xs: Vec<u8> = vec![1, 2, 3];
+        xs.par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+        let empty: Vec<u8> = vec![];
+        let out: Vec<u8> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

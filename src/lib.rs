@@ -9,8 +9,13 @@
 //! | Layer | Crate | What it provides |
 //! |-------|-------|------------------|
 //! | [`graph`] | `csc-graph` | directed graphs, generators, orderings, bipartite conversion, BFS oracles |
-//! | [`labeling`] | `csc-labeling` | HP-SPC 2-hop shortest-path-counting labels + the BFS baseline |
-//! | [`index`] | `csc-core` | the CSC index: microsecond `SCCnt(v)` queries with incremental/decremental maintenance |
+//! | [`labeling`] | `csc-labeling` | HP-SPC 2-hop shortest-path-counting labels, frozen label arenas + adaptive kernel, the BFS baseline |
+//! | [`index`] | `csc-core` | the CSC index: microsecond `SCCnt(v)` queries with incremental/decremental maintenance, plus lock-free snapshot serving (`SnapshotIndex` / `ConcurrentIndex`) |
+//!
+//! Reads are two-tier (see the README): the mutable index answers
+//! read-your-writes queries, while immutable snapshots frozen from it
+//! serve concurrent traffic lock-free and power parallel analytics
+//! sweeps.
 //!
 //! ## Quickstart
 //!
@@ -44,11 +49,11 @@ pub use csc_labeling as labeling;
 /// The common imports for working with the library.
 pub mod prelude {
     pub use csc_core::{
-        ConcurrentIndex, CscConfig, CscError, CscIndex, CycleCount, UpdateReport,
-        UpdateStrategy,
+        ConcurrentIndex, CscConfig, CscError, CscIndex, CycleCount, SnapshotIndex, SnapshotStats,
+        UpdateReport, UpdateStrategy,
     };
     pub use csc_graph::{DiGraph, GraphError, OrderingStrategy, VertexId};
-    pub use csc_labeling::{scc_count_bfs, BfsCycleEngine, HpSpcIndex};
+    pub use csc_labeling::{scc_count_bfs, BfsCycleEngine, FrozenLabels, HpSpcIndex, LabelStore};
 }
 
 #[cfg(test)]

@@ -18,7 +18,10 @@ enum Op {
 
 fn arb_ops(len: usize) -> impl Strategy<Value = Vec<Op>> {
     proptest::collection::vec(
-        prop_oneof![any::<u64>().prop_map(Op::Insert), any::<u64>().prop_map(Op::Delete)],
+        prop_oneof![
+            any::<u64>().prop_map(Op::Insert),
+            any::<u64>().prop_map(Op::Delete)
+        ],
         1..len,
     )
 }
@@ -148,7 +151,9 @@ fn long_update_storm_matches_rebuild() {
     let mut inserted = 0;
     let mut deleted = 0;
     while inserted + deleted < 150 {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         if s.is_multiple_of(2) && g.edge_count() > 30 {
             let edges = g.edge_vec();
             let (u, w) = edges[(s >> 8) as usize % edges.len()];

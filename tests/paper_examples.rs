@@ -123,7 +123,11 @@ fn self_spcnt_degenerates_as_the_paper_warns() {
     let g = figure2();
     let hp = HpSpcIndex::build(&g, OrderingStrategy::Degree).unwrap();
     let dc = hp.sp_count(pv(1), pv(1)).unwrap();
-    assert_eq!((dc.dist, dc.count), (0, 1), "self query finds the empty path");
+    assert_eq!(
+        (dc.dist, dc.count),
+        (0, 1),
+        "self query finds the empty path"
+    );
     // ... while the CSC index answers the real cycle query.
     let index = CscIndex::build(&g, CscConfig::default()).unwrap();
     let c = index.query(pv(1)).unwrap();

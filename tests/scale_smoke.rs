@@ -63,7 +63,11 @@ fn degree_clusters_all_answer() {
         let mut checked = 0;
         for v in g.vertices() {
             if clusters[v.index()] == target {
-                assert_eq!(index.query(v), bfs.query(&g, v), "cluster {target:?} at {v}");
+                assert_eq!(
+                    index.query(v),
+                    bfs.query(&g, v),
+                    "cluster {target:?} at {v}"
+                );
                 checked += 1;
                 if checked >= 25 {
                     break;
