@@ -1,0 +1,71 @@
+//! Bench for the batch update engine: timestamped update traces on the
+//! G04 analog, replayed through `ConcurrentIndex::apply_batch` at batch
+//! sizes 1 / 8 / 64 / 512 with a snapshot reader under load.
+//!
+//! Two traces run: `insert` (a pure arrival stream — the paper's
+//! incremental scenario, where hub-union repair and one-publish-per-batch
+//! dominate) and `mixed` (50/50 insert/delete churn, where per-edge
+//! deletion cost bounds the win). The acceptance signal is the
+//! **per-update** column falling as the batch size grows; batch size 1 is
+//! the baseline (one update, one publication at a time).
+//!
+//! Run with `CRITERION_JSON=BENCH_batch.json cargo bench -p csc-bench
+//! --bench batch` to record machine-readable numbers; the repo keeps the
+//! committed results in `BENCH_batch.json` (see `docs/BENCHMARKING.md`
+//! for field meanings and the single-core variance caveat).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csc_bench::experiments::{stream_replay, ExpContext};
+
+fn report(stats: &[stream_replay::ReplayStats]) {
+    for s in stats {
+        println!(
+            "bench stream_replay/{}_batch{:<4} {:>5} applied   per-batch mean {:>10.1} us   \
+             per-update {:>9.1} us   per-op {:>9.1} us   publishes {:>4}   reader p99 {:>6.1} us",
+            s.trace,
+            s.batch_size,
+            s.applied,
+            s.batch_mean.as_secs_f64() * 1e6,
+            s.per_update.as_secs_f64() * 1e6,
+            s.per_op.as_secs_f64() * 1e6,
+            s.publishes,
+            s.reader_p99_us,
+        );
+    }
+    if let (Some(first), Some(last)) = (stats.first(), stats.last()) {
+        println!(
+            "  {}: per-op {:.1} us at batch {} -> {:.1} us at batch {} ({:.2}x)",
+            first.trace,
+            first.per_op.as_secs_f64() * 1e6,
+            first.batch_size,
+            last.per_op.as_secs_f64() * 1e6,
+            last.batch_size,
+            first.per_op.as_secs_f64() / last.per_op.as_secs_f64().max(1e-12),
+        );
+    }
+}
+
+/// Not criterion-shaped (needs a live reader thread and whole-trace
+/// replays), so this target measures by hand and reports through the
+/// shared JSON channel, like `benches/snapshot.rs`.
+fn bench_stream_replay(_c: &mut Criterion) {
+    // Scale 0.15: single-edge deletions already cost ~100 ms here (they
+    // reach several hundred ms at scale 0.3 — see benches/update.rs),
+    // and the mixed trace replays hundreds of them per batch size.
+    let ctx = ExpContext {
+        scale: 0.15,
+        ..ExpContext::default()
+    };
+    let sizes = [1, 8, 64, 512];
+    println!("\n== group stream_replay (G04 analog @ scale 0.15, snapshot_every = 1) ==");
+    let inserts = stream_replay::measure_inserts(&ctx, &sizes);
+    report(&inserts);
+    let mixed = stream_replay::measure(&ctx, &sizes);
+    report(&mixed);
+    let mut all = inserts;
+    all.extend(mixed);
+    stream_replay::record_json(&all, "G04");
+}
+
+criterion_group!(benches, bench_stream_replay);
+criterion_main!(benches);

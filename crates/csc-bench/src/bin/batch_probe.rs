@@ -1,0 +1,63 @@
+//! Quick cost probe for the batch engine at a given scale (dev tool):
+//! build/clone/freeze timings plus mean single insert/delete cost on a
+//! `stream_replay` trace. Used to size the `batch` bench.
+use csc_bench::datasets::{by_code, generate};
+use csc_bench::experiments::stream_replay::build_trace;
+use csc_core::{CscConfig, CscIndex, GraphUpdate};
+use std::time::Instant;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.2);
+    let spec = by_code("G04").unwrap();
+    let g = generate(spec, scale, 42);
+    eprintln!("n={} m={}", g.vertex_count(), g.edge_count());
+    let t0 = Instant::now();
+    let (reduced, trace) = build_trace(&g, 64, 128, 50, 42);
+    let base = CscIndex::build(&reduced, CscConfig::default().with_snapshot_every(1)).unwrap();
+    eprintln!(
+        "build: {:?}, entries={}",
+        t0.elapsed(),
+        base.total_entries()
+    );
+    let t0 = Instant::now();
+    let mut idx = base.clone();
+    eprintln!("clone: {:?}", t0.elapsed());
+    let t0 = Instant::now();
+    let snap = idx.freeze();
+    eprintln!(
+        "freeze: {:?} ({} entries)",
+        t0.elapsed(),
+        snap.total_entries()
+    );
+    let (mut ins_n, mut del_n) = (0u32, 0u32);
+    let (mut ins_t, mut del_t) = (0.0f64, 0.0f64);
+    let t_all = Instant::now();
+    for op in &trace {
+        let t0 = Instant::now();
+        match op.update {
+            GraphUpdate::InsertEdge(a, b) => {
+                idx.insert_edge(a, b).unwrap();
+                ins_n += 1;
+                ins_t += t0.elapsed().as_secs_f64();
+            }
+            GraphUpdate::RemoveEdge(a, b) => {
+                idx.remove_edge(a, b).unwrap();
+                del_n += 1;
+                del_t += t0.elapsed().as_secs_f64();
+            }
+            _ => {}
+        }
+    }
+    eprintln!(
+        "replay {} ops in {:?}: insert mean {:.2} ms ({} ops), delete mean {:.2} ms ({} ops)",
+        trace.len(),
+        t_all.elapsed(),
+        ins_t / ins_n.max(1) as f64 * 1e3,
+        ins_n,
+        del_t / del_n.max(1) as f64 * 1e3,
+        del_n
+    );
+}

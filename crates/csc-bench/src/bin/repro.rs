@@ -9,9 +9,10 @@
 //!   fig10        Figure 10 — query time by degree cluster
 //!   fig11        Figure 11 — incremental update time and index growth
 //!   fig12        Figure 12 — decremental updates by edge degree
-//!   case-study   Figure 13 — fraud-screening case study
-//!   throughput   Extension — concurrent read throughput
-//!   all          Everything above, in order
+//!   case-study     Figure 13 — fraud-screening case study
+//!   throughput     Extension — concurrent read throughput
+//!   stream-replay  Extension — batched update-stream replay
+//!   all            Everything above, in order
 //!
 //! Options:
 //!   --scale <f64>    dataset size multiplier (default 1.0)
@@ -22,14 +23,14 @@
 //! ```
 
 use csc_bench::experiments::{
-    ablation, case_study, fig10, fig11, fig12, fig9, table4, throughput, ExpContext,
+    ablation, case_study, fig10, fig11, fig12, fig9, stream_replay, table4, throughput, ExpContext,
 };
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--seed N] [--quick] [--datasets A,B] [--out DIR] \
-         <table4|fig9|fig10|fig11|fig12|case-study|throughput|ablation|all>"
+         <table4|fig9|fig10|fig11|fig12|case-study|throughput|stream-replay|ablation|all>"
     );
     std::process::exit(2);
 }
@@ -87,6 +88,7 @@ fn main() -> ExitCode {
             "fig12" => println!("{}", fig12::run(ctx)),
             "case-study" | "case_study" | "fig13" => println!("{}", case_study::run(ctx)),
             "throughput" => println!("{}", throughput::run(ctx)),
+            "stream-replay" | "stream_replay" => println!("{}", stream_replay::run(ctx)),
             "ablation" => println!("{}", ablation::run(ctx)),
             _ => return false,
         }
@@ -102,6 +104,7 @@ fn main() -> ExitCode {
             "fig12",
             "case-study",
             "throughput",
+            "stream-replay",
             "ablation",
         ] {
             eprintln!("==> {name}");

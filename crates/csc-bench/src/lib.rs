@@ -12,12 +12,16 @@
 //! | Figure 12 (decremental updates) | [`experiments::fig12`] | `fig12` |
 //! | Figure 13 (fraud case study) | [`experiments::case_study`] | `case-study` |
 //! | (extension) read scalability | [`experiments::throughput`] | `throughput` |
+//! | (extension) batched stream replay | [`experiments::stream_replay`] | `stream-replay` |
 //!
 //! Beyond the paper artifacts, `benches/snapshot.rs` pits the frozen-arena
 //! snapshot read path against the nested-`Vec` live path and measures
 //! reader throughput/latency under an active writer (results recorded in
-//! the repo-root `BENCH_query.json`), and the `kernel_probe` binary
-//! attributes the speedup between layout and kernel.
+//! the repo-root `BENCH_query.json`), `benches/batch.rs` replays a
+//! timestamped update trace through `apply_batch` at batch sizes 1–512
+//! (recorded in `BENCH_batch.json`), and the `kernel_probe` binary
+//! attributes the read-path speedup between layout and kernel. See
+//! `docs/BENCHMARKING.md` for how to run everything and read the outputs.
 //!
 //! The paper's nine SNAP/Konect graphs are replaced by seeded synthetic
 //! analogs ([`datasets`]) because this environment has no network access

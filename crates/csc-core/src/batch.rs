@@ -1,0 +1,584 @@
+//! The batch update engine: apply a whole slice of graph updates in one
+//! call, with per-*hub* (not per-edge) label repair.
+//!
+//! Streaming workloads rarely deliver one edge at a time; they deliver
+//! windows of a trace. Applying a window through [`CscIndex::apply_batch`]
+//! beats replaying it one [`insert_edge`](CscIndex::insert_edge) /
+//! [`remove_edge`](CscIndex::remove_edge) at a time three ways:
+//!
+//! 1. **Normalization** — duplicate operations and insert/delete pairs on
+//!    the same edge cancel before any repair work happens. A hot edge
+//!    flapping ten times inside a window costs zero traversals.
+//! 2. **Hub-union repair for insertions** — every inserted edge is added
+//!    to the graph first, then the union of affected hubs is computed once
+//!    and each hub runs *one* multi-source repair pass (the batched
+//!    traversal in the crate-internal `repair` module) covering all the
+//!    edges that affect it, in descending rank order. Dense batches share
+//!    most of their affected hubs (high-ranked hubs appear in almost every
+//!    label), so the pass count approaches the hub-union size instead of
+//!    the per-edge sum. Deletions still repair per edge — their cost is
+//!    dominated by the exact distance-condition BFS sweeps, which are
+//!    inherently per-edge.
+//! 3. **One snapshot publication** — a
+//!    [`ConcurrentIndex::apply_batch`](crate::ConcurrentIndex::apply_batch)
+//!    caller republishes at most once per batch, and incrementally (see
+//!    [`FrozenLabels::refreeze_spans`](csc_labeling::FrozenLabels::refreeze_spans)).
+//!
+//! ## Semantics
+//!
+//! `apply_batch(updates)` is equivalent to applying `updates` in order,
+//! one at a time, *skipping* the individual operations that would fail
+//! (inserting a present edge, removing an absent one, self-loops,
+//! out-of-range endpoints). Skipped operations are counted in
+//! [`BatchReport::rejected`] rather than failing the batch; the
+//! `batch_equivalence` property suite pins this contract down. Vertices
+//! created by [`GraphUpdate::AddVertex`] get ids in submission order, so
+//! later operations in the same batch may reference them.
+
+use crate::error::CscError;
+use crate::index::CscIndex;
+use crate::repair::{multi_source_pass, Direction, Seed};
+use crate::stats::UpdateReport;
+use csc_graph::bipartite::{in_vertex, is_in_vertex, out_vertex};
+use csc_graph::VertexId;
+use csc_labeling::LabelingError;
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
+
+/// One element of an update stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GraphUpdate {
+    /// Insert the original edge `(a, b)`.
+    InsertEdge(VertexId, VertexId),
+    /// Remove the original edge `(a, b)`.
+    RemoveEdge(VertexId, VertexId),
+    /// Append a fresh isolated vertex (ranked at the bottom of the order).
+    AddVertex,
+}
+
+/// What one [`CscIndex::apply_batch`] call did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Updates in the submitted slice.
+    pub updates_submitted: usize,
+    /// Vertices appended by [`GraphUpdate::AddVertex`].
+    pub vertices_added: usize,
+    /// Net edge insertions applied to the graph and index.
+    pub edges_inserted: usize,
+    /// Net edge removals applied to the graph and index.
+    pub edges_removed: usize,
+    /// Valid operations that cancelled against each other during
+    /// normalization (duplicate edges, insert/delete pairs) and therefore
+    /// cost no repair work.
+    pub cancelled: usize,
+    /// Operations skipped because they would have failed individually
+    /// (insert of a present edge, removal of an absent one, self-loop,
+    /// out-of-range vertex).
+    pub rejected: usize,
+    /// Distinct hubs in the union of the insertion phase's affected-hub
+    /// sets — each ran at most two (forward/backward) repair passes for
+    /// the *whole* batch.
+    pub insert_hub_union: usize,
+    /// Aggregated label-repair counters across the batch, including its
+    /// wall-clock duration.
+    pub repair: UpdateReport,
+}
+
+impl BatchReport {
+    /// Updates that changed the graph: the batch's weight against
+    /// [`CscConfig::snapshot_every`](crate::CscConfig::snapshot_every)
+    /// and the denominator for per-update costs.
+    pub fn applied_updates(&self) -> usize {
+        self.vertices_added + self.edges_inserted + self.edges_removed
+    }
+}
+
+/// The net effect of a batch, relative to the pre-batch graph.
+#[derive(Debug, Default, PartialEq, Eq)]
+struct NormalizedBatch {
+    add_vertices: usize,
+    /// Net removals, stable-ordered by hub rank of the endpoints.
+    removals: Vec<(VertexId, VertexId)>,
+    /// Net insertions, stable-ordered by hub rank of the endpoints.
+    insertions: Vec<(VertexId, VertexId)>,
+    cancelled: usize,
+    rejected: usize,
+}
+
+impl CscIndex {
+    /// Simulates the batch against the current graph: which operations
+    /// succeed when applied in order, and what the per-edge net effect is.
+    fn normalize_batch(&self, updates: &[GraphUpdate]) -> NormalizedBatch {
+        let mut norm = NormalizedBatch::default();
+        // Virtual vertex count: grows as AddVertex ops are scanned, so an
+        // edge op may reference vertices created *earlier* in the batch
+        // (exactly the ids one-by-one application would accept).
+        let mut n_virtual = self.original_vertex_count() as u64;
+        // Per edge: (present initially, present now, accepted op count).
+        let mut edges: HashMap<(u32, u32), (bool, bool, usize)> = HashMap::new();
+        for update in updates {
+            let (a, b, insert) = match *update {
+                GraphUpdate::AddVertex => {
+                    n_virtual += 1;
+                    norm.add_vertices += 1;
+                    continue;
+                }
+                GraphUpdate::InsertEdge(a, b) => (a, b, true),
+                GraphUpdate::RemoveEdge(a, b) => (a, b, false),
+            };
+            if a == b || u64::from(a.0) >= n_virtual || u64::from(b.0) >= n_virtual {
+                norm.rejected += 1;
+                continue;
+            }
+            let state = edges.entry((a.0, b.0)).or_insert_with(|| {
+                let present = self.contains_edge(a, b);
+                (present, present, 0)
+            });
+            if state.1 == insert {
+                // Inserting a present edge / removing an absent one: the
+                // one-at-a-time call would error; skip it.
+                norm.rejected += 1;
+            } else {
+                state.1 = insert;
+                state.2 += 1;
+            }
+        }
+        for ((a, b), (initially, finally, accepted)) in edges {
+            let (a, b) = (VertexId(a), VertexId(b));
+            if initially == finally {
+                norm.cancelled += accepted;
+            } else {
+                norm.cancelled += accepted - 1;
+                if finally {
+                    norm.insertions.push((a, b));
+                } else {
+                    norm.removals.push((a, b));
+                }
+            }
+        }
+        // Stable order by hub rank: highest-ranked (lowest rank value)
+        // inner endpoints first, so consecutive edges share as much of
+        // their affected-hub neighborhoods as possible and the whole
+        // batch is deterministic regardless of submission order.
+        //
+        // Endpoints created by this batch's AddVertex ops are not in the
+        // rank table yet; they sort last (they will occupy the lowest
+        // ranks once added).
+        let n = self.original_vertex_count();
+        let key = |&(a, b): &(VertexId, VertexId)| {
+            let rank = |v: VertexId, inner: bool| {
+                if v.index() >= n {
+                    u32::MAX
+                } else if inner {
+                    self.ranks.rank(in_vertex(v))
+                } else {
+                    self.ranks.rank(out_vertex(v))
+                }
+            };
+            (rank(b, true), rank(a, false), a.0, b.0)
+        };
+        norm.insertions.sort_by_key(key);
+        norm.removals.sort_by_key(key);
+        norm
+    }
+
+    /// Applies a batch of graph updates in one call, with label repair run
+    /// per affected *hub* rather than per edge, and returns what happened.
+    ///
+    /// Equivalent to applying the updates in order one at a time while
+    /// skipping individually-invalid operations (see the [module
+    /// docs](crate::batch) for the exact contract); the batched form
+    /// cancels opposing operations during normalization and merges the
+    /// insertion repair passes of all edges that share an affected hub.
+    ///
+    /// ```
+    /// use csc_core::{CscConfig, CscIndex, GraphUpdate};
+    /// use csc_graph::{DiGraph, VertexId};
+    ///
+    /// let g = DiGraph::from_edges(4, vec![(0, 1), (1, 2)]);
+    /// let mut index = CscIndex::build(&g, CscConfig::default()).unwrap();
+    ///
+    /// let report = index
+    ///     .apply_batch(&[
+    ///         GraphUpdate::InsertEdge(VertexId(2), VertexId(0)), // close a triangle
+    ///         GraphUpdate::InsertEdge(VertexId(2), VertexId(3)), // flapping edge...
+    ///         GraphUpdate::RemoveEdge(VertexId(2), VertexId(3)), // ...cancels out
+    ///     ])
+    ///     .unwrap();
+    ///
+    /// assert_eq!(report.edges_inserted, 1);
+    /// assert_eq!(report.cancelled, 2);
+    /// assert_eq!(index.query(VertexId(0)).unwrap().length, 3);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Individually-invalid operations never error — they are skipped and
+    /// counted in [`BatchReport::rejected`]. A labeling capacity overflow
+    /// mid-batch poisons the index (see [`CscIndex::is_poisoned`]), like
+    /// the single-update paths.
+    pub fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Result<BatchReport, CscError> {
+        self.check_ready()?;
+        let start = Instant::now();
+        let norm = self.normalize_batch(updates);
+        let mut report = BatchReport {
+            updates_submitted: updates.len(),
+            cancelled: norm.cancelled,
+            rejected: norm.rejected,
+            ..Default::default()
+        };
+
+        // Phase 1: new vertices, in submission order (ids must match the
+        // one-by-one application).
+        for _ in 0..norm.add_vertices {
+            self.add_vertex();
+        }
+        report.vertices_added = norm.add_vertices;
+
+        // Phase 2: net removals. Deletion repair is per edge: its exact
+        // distance conditions come from endpoint BFS sweeps that cannot be
+        // shared across edges without losing exactness.
+        for &(a, b) in &norm.removals {
+            let (ao, bi) = (out_vertex(a), in_vertex(b));
+            if let Err(e) = self.deccnt(ao, bi, &mut report.repair) {
+                self.poisoned = true;
+                return Err(e.into());
+            }
+            self.stats.deletions += 1;
+        }
+        report.edges_removed = norm.removals.len();
+
+        // Phase 3: net insertions — all edges enter the graph first, then
+        // one multi-source pass per affected hub repairs the lot.
+        if let Err(e) = self.batched_insert_repair(&norm.insertions, &mut report) {
+            self.poisoned = true;
+            return Err(e.into());
+        }
+        report.edges_inserted = norm.insertions.len();
+        self.stats.insertions += norm.insertions.len();
+
+        self.stats.entries_added += report.repair.entries_inserted;
+        self.stats.entries_removed += report.repair.entries_removed;
+        report.repair.duration = start.elapsed();
+        Ok(report)
+    }
+
+    /// The insertion phase of [`apply_batch`](Self::apply_batch).
+    ///
+    /// Inserts every edge into the bipartite graph, snapshots the seed
+    /// entries (`L_in(a_o)` / `L_out(b_i)` *before any repair*, so each
+    /// seed counts exactly the pre-batch path class of its edge), unions
+    /// the affected hubs across edges, and runs the per-hub multi-source
+    /// passes in descending rank order.
+    fn batched_insert_repair(
+        &mut self,
+        insertions: &[(VertexId, VertexId)],
+        report: &mut BatchReport,
+    ) -> Result<(), LabelingError> {
+        if insertions.is_empty() {
+            return Ok(());
+        }
+        for &(a, b) in insertions {
+            self.gb
+                .insert_original_edge(a, b)
+                .expect("normalization verified the insertion");
+        }
+
+        // rank -> (forward seeds, backward seeds), iterated in ascending
+        // rank (descending importance).
+        let mut hubs: BTreeMap<u32, (Vec<Seed>, Vec<Seed>)> = BTreeMap::new();
+        for &(a, b) in insertions {
+            let (ao, bi) = (out_vertex(a), in_vertex(b));
+            let (rank_ao, rank_bi) = (self.ranks.rank(ao), self.ranks.rank(bi));
+            for e in self.labels.in_of(ao) {
+                let r = e.hub_rank();
+                if r < rank_bi && is_in_vertex(self.ranks.vertex_at_rank(r)) {
+                    let seeds = &mut hubs.entry(r).or_default().0;
+                    seeds.push((bi, e.dist() + 1, e.count()));
+                }
+            }
+            for e in self.labels.out_of(bi) {
+                let r = e.hub_rank();
+                if r < rank_ao && is_in_vertex(self.ranks.vertex_at_rank(r)) {
+                    let seeds = &mut hubs.entry(r).or_default().1;
+                    seeds.push((ao, e.dist() + 1, e.count()));
+                }
+            }
+        }
+        report.insert_hub_union = hubs.len();
+
+        let CscIndex {
+            ref gb,
+            ref ranks,
+            ref mut labels,
+            ref mut inverted,
+            ref config,
+            ref mut workspace,
+            ..
+        } = *self;
+        let graph = gb.graph();
+        workspace.ensure(graph.vertex_count());
+        let (state, cache) = workspace.parts_mut();
+        for (&r, (fwd, bwd)) in &hubs {
+            let vk = ranks.vertex_at_rank(r);
+            for (seeds, direction) in [(fwd, Direction::Forward), (bwd, Direction::Backward)] {
+                if seeds.is_empty() {
+                    continue;
+                }
+                report.repair.affected_hubs += 1;
+                multi_source_pass(
+                    graph,
+                    ranks,
+                    labels,
+                    inverted,
+                    state,
+                    cache,
+                    config.update_strategy,
+                    direction,
+                    r,
+                    vk,
+                    seeds,
+                    &mut report.repair,
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CscConfig, UpdateStrategy};
+    use csc_graph::generators::{directed_cycle, gnm};
+    use csc_graph::traversal::shortest_cycle_oracle;
+    use csc_graph::DiGraph;
+    use GraphUpdate::{AddVertex, InsertEdge, RemoveEdge};
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn assert_matches_oracle(idx: &CscIndex, context: &str) {
+        let g = idx.original_graph();
+        for x in g.vertices() {
+            assert_eq!(
+                idx.query(x).map(|c| (c.length, c.count)),
+                shortest_cycle_oracle(&g, x),
+                "{context}: SCCnt({x})"
+            );
+        }
+    }
+
+    /// One-by-one reference semantics: apply in order, skipping failures.
+    fn apply_sequentially(idx: &mut CscIndex, updates: &[GraphUpdate]) -> usize {
+        let mut applied = 0;
+        for u in updates {
+            let ok = match *u {
+                InsertEdge(a, b) => idx.insert_edge(a, b).is_ok(),
+                RemoveEdge(a, b) => idx.remove_edge(a, b).is_ok(),
+                AddVertex => {
+                    idx.add_vertex();
+                    true
+                }
+            };
+            applied += usize::from(ok);
+        }
+        applied
+    }
+
+    #[test]
+    fn empty_batch_is_a_cheap_no_op() {
+        let mut idx = CscIndex::build(&directed_cycle(4), CscConfig::default()).unwrap();
+        let before = idx.total_entries();
+        let report = idx.apply_batch(&[]).unwrap();
+        assert_eq!(report.applied_updates(), 0);
+        assert_eq!(
+            report.repair,
+            UpdateReport {
+                duration: report.repair.duration,
+                ..Default::default()
+            }
+        );
+        assert_eq!(idx.total_entries(), before);
+    }
+
+    #[test]
+    fn normalization_cancels_and_rejects() {
+        let g = DiGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 0)]);
+        let idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let norm = idx.normalize_batch(&[
+            InsertEdge(v(0), v(2)), // net insertion
+            InsertEdge(v(0), v(2)), // duplicate: rejected
+            InsertEdge(v(3), v(0)), // cancels with the removal below
+            RemoveEdge(v(3), v(0)), // ...
+            RemoveEdge(v(1), v(2)), // net removal
+            InsertEdge(v(1), v(2)), // reinsertion: cancels the removal
+            RemoveEdge(v(1), v(2)), // net removal after all
+            InsertEdge(v(2), v(2)), // self-loop: rejected
+            RemoveEdge(v(0), v(9)), // out of range: rejected
+            RemoveEdge(v(3), v(1)), // absent edge: rejected
+        ]);
+        assert_eq!(norm.insertions, vec![(v(0), v(2))]);
+        assert_eq!(norm.removals, vec![(v(1), v(2))]);
+        assert_eq!(norm.rejected, 4);
+        assert_eq!(norm.cancelled, 4);
+        assert_eq!(norm.add_vertices, 0);
+    }
+
+    #[test]
+    fn batch_can_reference_vertices_it_creates() {
+        let mut idx = CscIndex::build(&directed_cycle(3), CscConfig::default()).unwrap();
+        let report = idx
+            .apply_batch(&[
+                AddVertex,              // becomes vertex 3
+                InsertEdge(v(0), v(3)), // valid: 3 exists by now
+                InsertEdge(v(4), v(0)), // rejected: 4 not created yet
+                AddVertex,              // becomes vertex 4
+                InsertEdge(v(3), v(4)),
+                InsertEdge(v(4), v(0)), // now valid
+            ])
+            .unwrap();
+        assert_eq!(report.vertices_added, 2);
+        assert_eq!(report.edges_inserted, 3);
+        assert_eq!(report.rejected, 1);
+        assert_matches_oracle(&idx, "batch-created vertices");
+        assert_eq!(idx.query(v(4)).unwrap().length, 3, "0 -> 3 -> 4 -> 0");
+    }
+
+    #[test]
+    fn single_update_batches_match_the_scalar_paths() {
+        let g = gnm(18, 40, 5);
+        let mut batched = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let mut scalar = batched.clone();
+        let victims: Vec<_> = g.edge_vec().into_iter().step_by(5).take(6).collect();
+        for &(a, b) in &victims {
+            batched.apply_batch(&[RemoveEdge(v(a), v(b))]).unwrap();
+            scalar.remove_edge(v(a), v(b)).unwrap();
+            assert_eq!(batched.labels, scalar.labels, "after removing ({a},{b})");
+        }
+        for &(a, b) in &victims {
+            batched.apply_batch(&[InsertEdge(v(a), v(b))]).unwrap();
+            scalar.insert_edge(v(a), v(b)).unwrap();
+            assert_eq!(batched.labels, scalar.labels, "after inserting ({a},{b})");
+        }
+        assert_matches_oracle(&batched, "single-update batches");
+    }
+
+    #[test]
+    fn mixed_batch_equals_sequential_application() {
+        let g = gnm(20, 55, 11);
+        let base = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let edges = g.edge_vec();
+        let mut updates: Vec<GraphUpdate> = Vec::new();
+        for (k, &(a, b)) in edges.iter().enumerate().take(16) {
+            if k % 3 == 0 {
+                updates.push(RemoveEdge(v(a), v(b)));
+            }
+        }
+        updates.push(AddVertex);
+        updates.push(InsertEdge(v(20), v(0)));
+        updates.push(InsertEdge(v(5), v(20)));
+        for s in 0..10u32 {
+            let a = (s * 7 + 1) % 20;
+            let b = (s * 13 + 3) % 20;
+            if a != b {
+                updates.push(InsertEdge(v(a), v(b)));
+            }
+        }
+
+        let mut batched = base.clone();
+        let report = batched.apply_batch(&updates).unwrap();
+        let mut sequential = base.clone();
+        let applied = apply_sequentially(&mut sequential, &updates);
+        assert_eq!(report.applied_updates() + report.cancelled, applied);
+
+        let g_final = sequential.original_graph();
+        assert_eq!(batched.original_graph(), g_final, "same net graph");
+        for x in g_final.vertices() {
+            assert_eq!(batched.query(x), sequential.query(x), "SCCnt({x})");
+        }
+        assert_matches_oracle(&batched, "mixed batch");
+    }
+
+    #[test]
+    fn hub_union_is_smaller_than_per_edge_sum() {
+        // Many insertions into one graph: the union of affected hubs must
+        // not exceed (and in practice undercuts) the per-edge hub total.
+        let g = gnm(40, 120, 3);
+        let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let mut updates = Vec::new();
+        let mut s = 1u64;
+        while updates.len() < 24 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = v((s >> 33) as u32 % 40);
+            let b = v((s >> 13) as u32 % 40);
+            if a != b && !idx.contains_edge(a, b) {
+                updates.push(InsertEdge(a, b));
+            }
+        }
+        let per_edge_hubs: usize = updates
+            .iter()
+            .map(|u| {
+                let InsertEdge(a, b) = *u else { unreachable!() };
+                idx.labels.in_of(out_vertex(a)).len() + idx.labels.out_of(in_vertex(b)).len()
+            })
+            .sum();
+        let report = idx.apply_batch(&updates).unwrap();
+        assert!(report.insert_hub_union > 0);
+        assert!(
+            report.insert_hub_union < per_edge_hubs,
+            "union {} >= per-edge sum {}",
+            report.insert_hub_union,
+            per_edge_hubs
+        );
+        assert_matches_oracle(&idx, "hub union batch");
+    }
+
+    #[test]
+    fn minimality_strategy_supported_in_batches() {
+        let g = gnm(16, 40, 9);
+        let config = CscConfig::default().with_update_strategy(UpdateStrategy::Minimality);
+        let mut idx = CscIndex::build(&g, config).unwrap();
+        let edges = g.edge_vec();
+        let mut updates: Vec<GraphUpdate> = edges
+            .iter()
+            .step_by(4)
+            .map(|&(a, b)| RemoveEdge(v(a), v(b)))
+            .collect();
+        updates.push(InsertEdge(v(0), v(8)));
+        updates.push(InsertEdge(v(8), v(0)));
+        idx.apply_batch(&updates).unwrap();
+        assert_matches_oracle(&idx, "minimality batch");
+        idx.inverted
+            .as_ref()
+            .unwrap()
+            .validate_against(&idx.labels)
+            .unwrap();
+    }
+
+    #[test]
+    fn flapping_edges_cost_no_repair_work() {
+        let mut idx = CscIndex::build(&directed_cycle(5), CscConfig::default()).unwrap();
+        let mut updates = Vec::new();
+        for _ in 0..10 {
+            updates.push(InsertEdge(v(2), v(0)));
+            updates.push(RemoveEdge(v(2), v(0)));
+        }
+        let report = idx.apply_batch(&updates).unwrap();
+        assert_eq!(report.applied_updates(), 0);
+        assert_eq!(report.cancelled, 20);
+        assert_eq!(report.repair.vertices_visited, 0, "no traversal ran");
+        assert_eq!(idx.query(v(0)).unwrap().length, 5);
+    }
+
+    #[test]
+    fn poisoned_index_refuses_batches() {
+        let mut idx = CscIndex::build(&directed_cycle(3), CscConfig::default()).unwrap();
+        idx.poisoned = true;
+        assert!(matches!(
+            idx.apply_batch(&[AddVertex]),
+            Err(CscError::Poisoned)
+        ));
+    }
+}

@@ -12,7 +12,7 @@
 //! * **Writers** hold the index lock, apply `insert_edge` / `remove_edge`,
 //!   and periodically *publish* an immutable [`SnapshotIndex`] (an
 //!   `O(total entries)` freeze into a flat arena, amortized by
-//!   [`CscConfig::snapshot_every`]).
+//!   [`CscConfig::snapshot_every`](crate::CscConfig::snapshot_every)).
 //! * **Readers** grab the current `Arc<SnapshotIndex>` — the only shared
 //!   state they touch is the publication slot, whose critical section is a
 //!   single `Arc` clone / pointer swap, never held across label
@@ -26,7 +26,15 @@
 //! [`with_read`](ConcurrentIndex::with_read) when read-your-writes
 //! semantics are required (those take the index read lock like the old
 //! design did).
+//!
+//! Publication is *incremental*: the label store tracks which lists each
+//! update dirtied, and a republish patches exactly those spans into a
+//! copy of the previously published arena
+//! ([`SnapshotIndex::refreeze_from`]) instead of re-gathering the whole
+//! store. Batches ([`apply_batch`](ConcurrentIndex::apply_batch)) publish
+//! at most once per call, no matter how many updates they carry.
 
+use crate::batch::{BatchReport, GraphUpdate};
 use crate::error::CscError;
 use crate::index::CscIndex;
 use crate::snapshot::SnapshotIndex;
@@ -39,6 +47,34 @@ use std::sync::Arc;
 
 /// A read-mostly, single-writer handle around a [`CscIndex`] that serves
 /// queries from lock-free snapshots.
+///
+/// ```
+/// use csc_core::{ConcurrentIndex, CscConfig, CscIndex, GraphUpdate};
+/// use csc_graph::{DiGraph, VertexId};
+/// use std::sync::Arc;
+///
+/// let g = DiGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 0)]);
+/// let config = CscConfig::default().with_snapshot_every(1);
+/// let shared = Arc::new(ConcurrentIndex::new(
+///     CscIndex::build(&g, config).unwrap(),
+/// ));
+///
+/// // Readers clone the published snapshot and query it lock-free; any
+/// // number of queries see one consistent state.
+/// let snapshot = shared.snapshot();
+/// assert_eq!(snapshot.query(VertexId(0)).unwrap().length, 3);
+///
+/// // The writer streams updates — whole batches publish exactly once.
+/// shared
+///     .apply_batch(&[
+///         GraphUpdate::InsertEdge(VertexId(1), VertexId(0)),
+///         GraphUpdate::InsertEdge(VertexId(0), VertexId(3)),
+///         GraphUpdate::InsertEdge(VertexId(3), VertexId(0)),
+///     ])
+///     .unwrap();
+/// assert_eq!(shared.query(VertexId(0)).unwrap().length, 2);
+/// assert_eq!(snapshot.query(VertexId(0)).unwrap().length, 3, "held Arc pinned");
+/// ```
 pub struct ConcurrentIndex {
     /// Writer state: the live, mutable index.
     inner: RwLock<CscIndex>,
@@ -55,8 +91,11 @@ pub struct ConcurrentIndex {
 
 impl ConcurrentIndex {
     /// Wraps an index, freezing and publishing its initial snapshot.
-    pub fn new(index: CscIndex) -> Self {
+    pub fn new(mut index: CscIndex) -> Self {
         let refresh_every = index.config().snapshot_every;
+        // Baseline the dirty tracking: the initial snapshot covers
+        // everything, so only post-construction mutations matter.
+        index.labels.take_dirty();
         let snapshot = Arc::new(index.freeze());
         ConcurrentIndex {
             inner: RwLock::new(index),
@@ -99,7 +138,7 @@ impl ConcurrentIndex {
     pub fn insert_edge(&self, a: VertexId, b: VertexId) -> Result<UpdateReport, CscError> {
         let mut guard = self.inner.write();
         let report = guard.insert_edge(a, b)?;
-        self.after_update(&guard);
+        self.after_updates(&mut guard, 1);
         Ok(report)
     }
 
@@ -108,7 +147,22 @@ impl ConcurrentIndex {
     pub fn remove_edge(&self, a: VertexId, b: VertexId) -> Result<UpdateReport, CscError> {
         let mut guard = self.inner.write();
         let report = guard.remove_edge(a, b)?;
-        self.after_update(&guard);
+        self.after_updates(&mut guard, 1);
+        Ok(report)
+    }
+
+    /// Applies a whole update batch under one write-lock acquisition (see
+    /// [`CscIndex::apply_batch`]) and republishes the snapshot *at most
+    /// once* — when the batch's applied updates push the pending count
+    /// over [`snapshot_every`](crate::CscConfig::snapshot_every).
+    ///
+    /// This is the preferred write path for streaming workloads: readers
+    /// see whole batches atomically (never a half-applied window), and
+    /// the per-update publication cost shrinks with the batch size.
+    pub fn apply_batch(&self, updates: &[GraphUpdate]) -> Result<BatchReport, CscError> {
+        let mut guard = self.inner.write();
+        let report = guard.apply_batch(updates)?;
+        self.after_updates(&mut guard, report.applied_updates());
         Ok(report)
     }
 
@@ -118,17 +172,17 @@ impl ConcurrentIndex {
     pub fn add_vertex(&self) -> VertexId {
         let mut guard = self.inner.write();
         let v = guard.add_vertex();
-        self.after_update(&guard);
+        self.after_updates(&mut guard, 1);
         v
     }
 
     /// Freezes and publishes a snapshot of the current state now,
     /// regardless of the refresh policy.
     pub fn refresh(&self) {
-        // A read lock suffices: freezing only reads, and publication has
-        // its own slot lock.
-        let guard = self.inner.read();
-        self.publish(&guard);
+        // The write lock: publication drains the label store's dirty-slot
+        // tracking (the incremental-refreeze bookkeeping).
+        let mut guard = self.inner.write();
+        self.publish(&mut guard);
     }
 
     /// Publication statistics: how many snapshots have been published and
@@ -146,15 +200,23 @@ impl ConcurrentIndex {
         self.inner.into_inner()
     }
 
-    fn after_update(&self, index: &CscIndex) {
-        let pending = self.pending.fetch_add(1, Ordering::Relaxed) + 1;
-        if self.refresh_every > 0 && pending >= self.refresh_every {
+    fn after_updates(&self, index: &mut CscIndex, applied: usize) {
+        let pending = self.pending.fetch_add(applied, Ordering::Relaxed) + applied;
+        if applied > 0 && self.refresh_every > 0 && pending >= self.refresh_every {
             self.publish(index);
         }
     }
 
-    fn publish(&self, index: &CscIndex) {
-        let fresh = Arc::new(index.freeze());
+    /// Publishes incrementally: patch the dirtied label spans into a copy
+    /// of the currently published arena rather than re-freezing the whole
+    /// store. The invariant making this sound — published snapshot ==
+    /// label store at the last drain of the dirty set — holds because
+    /// *every* publication (constructor, auto, manual) drains here under
+    /// the write lock.
+    fn publish(&self, index: &mut CscIndex) {
+        let dirty = index.labels.take_dirty();
+        let prev = self.snapshot.read().clone();
+        let fresh = Arc::new(SnapshotIndex::refreeze_from(&prev, index, &dirty));
         *self.snapshot.write() = fresh;
         self.pending.store(0, Ordering::Relaxed);
         self.published.fetch_add(1, Ordering::Relaxed);
@@ -312,6 +374,101 @@ mod tests {
         assert_eq!(held.query(VertexId(0)).unwrap().length, 6);
         // ...while new snapshot grabs see the update.
         assert_eq!(shared.snapshot().query(VertexId(0)).unwrap().length, 4);
+    }
+
+    #[test]
+    fn batch_publishes_at_most_once() {
+        let g = directed_cycle(8);
+        let config = CscConfig::default().with_snapshot_every(1);
+        let shared = ConcurrentIndex::new(CscIndex::build(&g, config).unwrap());
+        let report = shared
+            .apply_batch(&[
+                GraphUpdate::InsertEdge(VertexId(2), VertexId(0)),
+                GraphUpdate::InsertEdge(VertexId(4), VertexId(0)),
+                GraphUpdate::InsertEdge(VertexId(6), VertexId(0)),
+            ])
+            .unwrap();
+        assert_eq!(report.applied_updates(), 3);
+        let stats = shared.snapshot_stats();
+        assert_eq!(
+            (stats.published, stats.pending_updates),
+            (2, 0),
+            "three updates at snapshot_every = 1: still one batch publish"
+        );
+        assert_eq!(shared.query(VertexId(0)).unwrap().length, 3);
+    }
+
+    #[test]
+    fn batch_updates_honor_snapshot_every_in_update_units() {
+        let g = directed_cycle(10);
+        let config = CscConfig::default().with_snapshot_every(8);
+        let shared = ConcurrentIndex::new(CscIndex::build(&g, config).unwrap());
+
+        // 5 applied updates: below the interval, no publication.
+        let five: Vec<GraphUpdate> = (2..7)
+            .map(|k| GraphUpdate::InsertEdge(VertexId(k), VertexId(0)))
+            .collect();
+        shared.apply_batch(&five).unwrap();
+        let stats = shared.snapshot_stats();
+        assert_eq!((stats.published, stats.pending_updates), (1, 5));
+        assert_eq!(shared.query(VertexId(0)).unwrap().length, 10, "stale");
+
+        // A fully-cancelled batch adds no pending weight.
+        shared
+            .apply_batch(&[
+                GraphUpdate::InsertEdge(VertexId(8), VertexId(0)),
+                GraphUpdate::RemoveEdge(VertexId(8), VertexId(0)),
+            ])
+            .unwrap();
+        assert_eq!(shared.snapshot_stats().pending_updates, 5);
+
+        // 3 more cross the 8-update interval: publish.
+        let three = [
+            GraphUpdate::InsertEdge(VertexId(7), VertexId(0)),
+            GraphUpdate::InsertEdge(VertexId(8), VertexId(0)),
+            GraphUpdate::InsertEdge(VertexId(1), VertexId(0)),
+        ];
+        shared.apply_batch(&three).unwrap();
+        let stats = shared.snapshot_stats();
+        assert_eq!((stats.published, stats.pending_updates), (2, 0));
+        assert_eq!(
+            shared.query(VertexId(0)).unwrap().length,
+            2,
+            "snapshot sees the 0 <-> 1 two-cycle"
+        );
+    }
+
+    #[test]
+    fn incremental_publication_serves_exact_results() {
+        // Stream single updates and batches through every publication
+        // path; after each publish the served snapshot must answer like a
+        // from-scratch freeze of the live index.
+        let g = csc_graph::generators::gnm(24, 70, 13);
+        let config = CscConfig::default().with_snapshot_every(2);
+        let shared = ConcurrentIndex::new(CscIndex::build(&g, config).unwrap());
+        let edges: Vec<_> = g.edge_vec().into_iter().step_by(6).take(8).collect();
+        for (k, &(a, b)) in edges.iter().enumerate() {
+            if k % 2 == 0 {
+                shared.remove_edge(VertexId(a), VertexId(b)).unwrap();
+            } else {
+                shared
+                    .apply_batch(&[
+                        GraphUpdate::RemoveEdge(VertexId(a), VertexId(b)),
+                        GraphUpdate::InsertEdge(VertexId(a), VertexId(b)),
+                        GraphUpdate::RemoveEdge(VertexId(a), VertexId(b)),
+                    ])
+                    .unwrap();
+            }
+            shared.refresh();
+            let snap = shared.snapshot();
+            shared.with_read(|idx| {
+                for x in 0..idx.original_vertex_count() as u32 {
+                    let x = VertexId(x);
+                    assert_eq!(snap.query(x), idx.query(x), "step {k}: SCCnt({x})");
+                }
+                assert_eq!(snap.total_entries(), idx.total_entries());
+            });
+        }
     }
 
     #[test]

@@ -36,16 +36,19 @@ pub struct CscConfig {
     /// per label entry.
     pub maintain_inverted: bool,
     /// How often [`ConcurrentIndex`](crate::ConcurrentIndex) republishes
-    /// its read snapshot: after every `snapshot_every`-th successful
-    /// update (`insert_edge`, `remove_edge`, or `add_vertex`).
+    /// its read snapshot, counted in *update units*: every successful
+    /// `insert_edge` / `remove_edge` / `add_vertex` weighs 1, and an
+    /// [`apply_batch`](crate::ConcurrentIndex::apply_batch) weighs its
+    /// applied update count — but a batch publishes at most once, at its
+    /// end.
     ///
-    /// Each publication freezes the whole label store — `O(total
-    /// entries)`, dwarfing the incremental cost of the update itself on
-    /// large indexes — so the default of `8` amortizes that over a burst
-    /// while bounding snapshot-reader staleness at 7 updates. Set `1` to
-    /// republish after every update (readers always fresh, writer pays a
-    /// freeze per update), or `0` to disable automatic republication
-    /// entirely and call
+    /// Publication is incremental (only the label lists dirtied since the
+    /// last snapshot are re-frozen; the rest of the arena is carried over
+    /// by a flat copy), but still costs an arena copy — so the default of
+    /// `8` amortizes it over a burst while bounding snapshot-reader
+    /// staleness at 7 updates. Set `1` to republish after every update or
+    /// batch (readers at most one batch stale), or `0` to disable
+    /// automatic republication entirely and call
     /// [`ConcurrentIndex::refresh`](crate::ConcurrentIndex::refresh)
     /// manually.
     pub snapshot_every: usize,

@@ -42,11 +42,12 @@
 use crate::build::WriteMode;
 use crate::error::CscError;
 use crate::index::CscIndex;
+use crate::repair::{covered_dist, fill_hub_cache};
 use crate::stats::UpdateReport;
 use csc_graph::bipartite::{in_vertex, is_in_vertex, out_vertex};
 use csc_graph::traversal::bfs_distances_dir;
 use csc_graph::{GraphError, VertexId};
-use csc_labeling::{LabelEntry, LabelSide, LabelingError, INF};
+use csc_labeling::{LabelEntry, LabelSide, LabelingError};
 use std::time::Instant;
 
 impl CscIndex {
@@ -82,7 +83,7 @@ impl CscIndex {
         Ok(report)
     }
 
-    fn deccnt(
+    pub(crate) fn deccnt(
         &mut self,
         ao: VertexId,
         bi: VertexId,
@@ -294,11 +295,7 @@ impl CscIndex {
         self.workspace.ensure(graph.vertex_count());
         let (state, cache) = self.workspace.parts_mut();
 
-        cache.begin();
-        for e in self.labels.side_of(vk, own_side) {
-            cache.put(e.hub_rank(), e.dist(), e.count());
-        }
-        cache.put(vk_rank, 0, 1);
+        fill_hub_cache(&self.labels, cache, vk, vk_rank, own_side);
 
         state.reset();
         state.visit(start, seed.dist() + 1, seed.count());
@@ -315,13 +312,7 @@ impl CscIndex {
             // Prune where the crossing paths are not shortest: distances
             // only exceed `sd` deeper in the cone, so nothing there needs
             // subtraction either.
-            let mut dg = INF;
-            for e in self.labels.side_of(w, target_side) {
-                if let Some((dh, _)) = cache.get(e.hub_rank()) {
-                    dg = dg.min(dh + e.dist());
-                }
-            }
-            if dw > dg {
+            if dw > covered_dist(&self.labels, cache, w, target_side) {
                 continue;
             }
 

@@ -12,7 +12,9 @@
 //!
 //! Passes run in descending rank order so that when a pass consults the
 //! index (`D_G(v_k, w)` pruning), entries of higher-ranked affected hubs
-//! are already updated.
+//! are already updated. The pass itself and the primitives it shares with
+//! deletion and the batch engine live in `csc-core::repair`; this module
+//! contributes the per-edge affected-hub derivation.
 //!
 //! ## Skipping `V_out` hubs
 //!
@@ -37,15 +39,13 @@
 //! and is therefore harmless. Minimality mode calls `CLEAN_LABEL` after
 //! every improving write.
 
-use crate::clean::clean_label;
-use crate::config::UpdateStrategy;
 use crate::error::CscError;
 use crate::index::CscIndex;
-use crate::invert::InvertedIndex;
+use crate::repair::{maintenance_pass, Direction};
 use crate::stats::UpdateReport;
 use csc_graph::bipartite::is_in_vertex;
-use csc_graph::{DiGraph, RankTable, VertexId};
-use csc_labeling::{HubCache, LabelEntry, LabelSide, LabelingError, Labels, SearchState, INF};
+use csc_graph::VertexId;
+use csc_labeling::{LabelEntry, LabelingError};
 use std::time::Instant;
 
 impl CscIndex {
@@ -162,158 +162,13 @@ impl CscIndex {
     }
 }
 
-#[derive(Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Direction {
-    /// `FORWARD_PASS`: repair in-labels reachable from `b_i`.
-    Forward,
-    /// `BACKWARD_PASS`: repair out-labels co-reachable from `a_o`.
-    Backward,
-}
-
-/// One resumed BFS from an affected hub (Algorithm 6 and its mirror).
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn maintenance_pass(
-    graph: &DiGraph,
-    ranks: &RankTable,
-    labels: &mut Labels,
-    inverted: &mut Option<InvertedIndex>,
-    state: &mut SearchState,
-    cache: &mut HubCache,
-    strategy: UpdateStrategy,
-    direction: Direction,
-    vk_rank: u32,
-    vk: VertexId,
-    start: VertexId,
-    seed_dist: u32,
-    seed_count: u64,
-    report: &mut UpdateReport,
-) -> Result<(), LabelingError> {
-    let (own_side, target_side) = match direction {
-        Direction::Forward => (LabelSide::Out, LabelSide::In),
-        Direction::Backward => (LabelSide::In, LabelSide::Out),
-    };
-
-    // The hub's own labels, scattered for D_G(v_k, ·) distance checks.
-    cache.begin();
-    for e in labels.side_of(vk, own_side) {
-        cache.put(e.hub_rank(), e.dist(), e.count());
-    }
-    cache.put(vk_rank, 0, 1);
-
-    state.reset();
-    state.visit(start, seed_dist, seed_count);
-    state.queue.push_back(start.0);
-
-    while let Some(w) = state.queue.pop_front() {
-        let w = VertexId(w);
-        let dw = state.dist[w.index()];
-        let cw = state.count[w.index()];
-        report.vertices_visited += 1;
-
-        // D_G(v_k, w) under the (partially updated) current index.
-        let mut dg = INF;
-        for e in labels.side_of(w, target_side) {
-            if let Some((dh, _)) = cache.get(e.hub_rank()) {
-                dg = dg.min(dh + e.dist());
-            }
-        }
-        if dw > dg {
-            continue; // Case 1: not a new shortest path; prune.
-        }
-
-        let improved = update_label(
-            labels,
-            inverted,
-            w,
-            target_side,
-            vk,
-            vk_rank,
-            dw,
-            cw,
-            report,
-        )?;
-        if improved && strategy == UpdateStrategy::Minimality {
-            let inv = inverted
-                .as_mut()
-                .expect("minimality requires inverted indexes");
-            clean_label(labels, inv, ranks, w, target_side, report);
-        }
-
-        let nbrs = match direction {
-            Direction::Forward => graph.nbr_out(w),
-            Direction::Backward => graph.nbr_in(w),
-        };
-        for &u in nbrs {
-            let u = VertexId(u);
-            if !state.visited(u) {
-                if vk_rank < ranks.rank(u) {
-                    state.visit(u, dw + 1, cw);
-                    state.queue.push_back(u.0);
-                }
-            } else if state.dist[u.index()] == dw + 1 {
-                state.accumulate(u, cw);
-            }
-        }
-    }
-    Ok(())
-}
-
-/// `UPDATE_LABEL` (Algorithm 7). Returns `true` when the write shortened a
-/// distance or created an entry (the cases that can strand redundancy).
-#[allow(clippy::too_many_arguments)]
-fn update_label(
-    labels: &mut Labels,
-    inverted: &mut Option<InvertedIndex>,
-    w: VertexId,
-    side: LabelSide,
-    vk: VertexId,
-    vk_rank: u32,
-    d: u32,
-    c: u64,
-    report: &mut UpdateReport,
-) -> Result<bool, LabelingError> {
-    let wrap = |source| LabelingError::Entry {
-        hub: vk,
-        vertex: w,
-        source,
-    };
-    match labels.entry_for(w, side, vk_rank) {
-        Some(old) => {
-            if d < old.dist() {
-                labels.upsert(w, side, LabelEntry::new(vk_rank, d, c).map_err(wrap)?);
-                report.entries_updated += 1;
-                Ok(true)
-            } else if d == old.dist() {
-                // New same-length shortest paths: accumulate the counting.
-                let merged = c.saturating_add(old.count());
-                labels.upsert(w, side, LabelEntry::new(vk_rank, d, merged).map_err(wrap)?);
-                report.entries_updated += 1;
-                Ok(false)
-            } else {
-                // The traversal found only a longer connection than the
-                // recorded one; nothing to repair. (Unreachable when the
-                // seed label was exact, possible with stale seeds under
-                // the redundancy strategy.)
-                Ok(false)
-            }
-        }
-        None => {
-            labels.upsert(w, side, LabelEntry::new(vk_rank, d, c).map_err(wrap)?);
-            if let Some(inv) = inverted {
-                inv.add(side, vk_rank, w);
-            }
-            report.entries_inserted += 1;
-            Ok(true)
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::CscConfig;
+    use crate::config::{CscConfig, UpdateStrategy};
     use csc_graph::generators::{directed_cycle, gnm};
     use csc_graph::traversal::shortest_cycle_oracle;
+    use csc_graph::DiGraph;
 
     fn assert_queries_match(idx: &CscIndex, g: &DiGraph, context: &str) {
         for v in g.vertices() {

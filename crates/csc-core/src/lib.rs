@@ -11,7 +11,10 @@
 //! `SCCnt(v)` as a single label intersection `SPCnt(v_o, v_i)` — no
 //! neighborhood enumeration, which is what makes query time independent of
 //! the query vertex's degree. Edge insertions and deletions repair the
-//! index in place.
+//! index in place — one at a time, or whole windows at once through the
+//! batch engine ([`CscIndex::apply_batch`]), which normalizes the window
+//! and repairs per affected *hub* rather than per edge. See
+//! `docs/ARCHITECTURE.md` at the repo root for the end-to-end walkthrough.
 //!
 //! ```
 //! use csc_core::{CscConfig, CscIndex};
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod analytics;
+pub mod batch;
 mod build;
 mod clean;
 pub mod concurrent;
@@ -46,11 +50,13 @@ mod index;
 mod insert;
 mod invert;
 pub mod reduction;
+mod repair;
 pub mod serial;
 pub mod snapshot;
 pub mod stats;
 pub mod verify;
 
+pub use batch::{BatchReport, GraphUpdate};
 pub use concurrent::ConcurrentIndex;
 pub use config::{CscConfig, UpdateStrategy};
 pub use error::CscError;

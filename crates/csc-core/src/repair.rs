@@ -1,0 +1,304 @@
+//! Shared label-repair primitives for dynamic maintenance.
+//!
+//! Incremental insertion (`csc-core::insert`), decremental deletion
+//! (`csc-core::delete`), and the batch engine (`csc-core::batch`) all
+//! repair labels the same way: resume a counting traversal from an
+//! *affected hub*, prune where the index already covers the distance, and
+//! upsert the entries the traversal proves changed. This module holds the
+//! pieces they share:
+//!
+//! * [`fill_hub_cache`] — scatter the hub's own label for `O(|label|)`
+//!   per-vertex distance checks;
+//! * [`covered_dist`] — `D_G(v_k, w)` through strictly-higher-ranked hubs,
+//!   evaluated against the (partially repaired) current index;
+//! * [`update_label`] — `UPDATE_LABEL` (Algorithm 7);
+//! * [`maintenance_pass`] — the single-seed resumed BFS of Algorithm 6
+//!   (one inserted edge, one affected hub);
+//! * [`multi_source_pass`] — the batched generalization: one pass per
+//!   affected hub no matter how many inserted edges affect it. Seeds sit
+//!   at different depths, so the plain BFS queue becomes a monotone
+//!   *bucket queue* (unit edge weights keep it `O(V + E)`), and a seed
+//!   reached earlier by the traversal itself is relaxed downward — which
+//!   is exactly what makes the first-new-edge decomposition exact: every
+//!   brand-new shortest path decomposes as an *old* shortest prefix to the
+//!   first inserted edge it crosses (covered by that edge's pre-batch seed
+//!   entry) plus a suffix in the updated graph, which the traversal walks
+//!   because all batch edges are already present.
+
+use crate::clean::clean_label;
+use crate::config::UpdateStrategy;
+use crate::invert::InvertedIndex;
+use crate::stats::UpdateReport;
+use csc_graph::{DiGraph, RankTable, VertexId};
+use csc_labeling::{HubCache, LabelEntry, LabelSide, LabelingError, Labels, SearchState, INF};
+
+/// Which side of the index a repair traversal rebuilds.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Direction {
+    /// `FORWARD_PASS`: repair in-labels reachable from the seed(s).
+    Forward,
+    /// `BACKWARD_PASS`: repair out-labels co-reachable from the seed(s).
+    Backward,
+}
+
+impl Direction {
+    /// `(own_side, target_side)`: the hub's own label side consulted for
+    /// pruning, and the side of the entries the pass writes.
+    #[inline]
+    pub(crate) fn sides(self) -> (LabelSide, LabelSide) {
+        match self {
+            Direction::Forward => (LabelSide::Out, LabelSide::In),
+            Direction::Backward => (LabelSide::In, LabelSide::Out),
+        }
+    }
+}
+
+/// Scatters the hub's own `own_side` label (plus its rank-0 self entry)
+/// into `cache` for constant-time `D_G(v_k, ·)` component lookups.
+#[inline]
+pub(crate) fn fill_hub_cache(
+    labels: &Labels,
+    cache: &mut HubCache,
+    vk: VertexId,
+    vk_rank: u32,
+    own_side: LabelSide,
+) {
+    cache.begin();
+    for e in labels.side_of(vk, own_side) {
+        cache.put(e.hub_rank(), e.dist(), e.count());
+    }
+    cache.put(vk_rank, 0, 1);
+}
+
+/// `D_G(v_k, w)` (or `D_G(w, v_k)` for backward passes) under the current
+/// index, restricted to the hubs scattered in `cache` — i.e. through the
+/// pass hub itself and strictly higher-ranked hubs, whose entries are
+/// already repaired when passes run in descending rank order.
+#[inline]
+pub(crate) fn covered_dist(
+    labels: &Labels,
+    cache: &HubCache,
+    w: VertexId,
+    target_side: LabelSide,
+) -> u32 {
+    let mut dg = INF;
+    for e in labels.side_of(w, target_side) {
+        if let Some((dh, _)) = cache.get(e.hub_rank()) {
+            dg = dg.min(dh + e.dist());
+        }
+    }
+    dg
+}
+
+/// `UPDATE_LABEL` (Algorithm 7). Returns `true` when the write shortened a
+/// distance or created an entry (the cases that can strand redundancy).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn update_label(
+    labels: &mut Labels,
+    inverted: &mut Option<InvertedIndex>,
+    w: VertexId,
+    side: LabelSide,
+    vk: VertexId,
+    vk_rank: u32,
+    d: u32,
+    c: u64,
+    report: &mut UpdateReport,
+) -> Result<bool, LabelingError> {
+    let wrap = |source| LabelingError::Entry {
+        hub: vk,
+        vertex: w,
+        source,
+    };
+    match labels.entry_for(w, side, vk_rank) {
+        Some(old) => {
+            if d < old.dist() {
+                labels.upsert(w, side, LabelEntry::new(vk_rank, d, c).map_err(wrap)?);
+                report.entries_updated += 1;
+                Ok(true)
+            } else if d == old.dist() {
+                // New same-length shortest paths: accumulate the counting.
+                let merged = c.saturating_add(old.count());
+                labels.upsert(w, side, LabelEntry::new(vk_rank, d, merged).map_err(wrap)?);
+                report.entries_updated += 1;
+                Ok(false)
+            } else {
+                // The traversal found only a longer connection than the
+                // recorded one; nothing to repair. (Unreachable when the
+                // seed label was exact, possible with stale seeds under
+                // the redundancy strategy.)
+                Ok(false)
+            }
+        }
+        None => {
+            labels.upsert(w, side, LabelEntry::new(vk_rank, d, c).map_err(wrap)?);
+            if let Some(inv) = inverted {
+                inv.add(side, vk_rank, w);
+            }
+            report.entries_inserted += 1;
+            Ok(true)
+        }
+    }
+}
+
+/// One resumed traversal from an affected hub (Algorithm 6 and its
+/// mirror), for a single inserted edge. With one seed the multi-source
+/// bucket queue degenerates to exactly the BFS level order, so this is a
+/// thin wrapper — one copy of the delicate prune/count/update logic
+/// serves both `insert_edge` and `apply_batch`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn maintenance_pass(
+    graph: &DiGraph,
+    ranks: &RankTable,
+    labels: &mut Labels,
+    inverted: &mut Option<InvertedIndex>,
+    state: &mut SearchState,
+    cache: &mut HubCache,
+    strategy: UpdateStrategy,
+    direction: Direction,
+    vk_rank: u32,
+    vk: VertexId,
+    start: VertexId,
+    seed_dist: u32,
+    seed_count: u64,
+    report: &mut UpdateReport,
+) -> Result<(), LabelingError> {
+    multi_source_pass(
+        graph,
+        ranks,
+        labels,
+        inverted,
+        state,
+        cache,
+        strategy,
+        direction,
+        vk_rank,
+        vk,
+        &[(start, seed_dist, seed_count)],
+        report,
+    )
+}
+
+/// A repair seed: traversal start vertex, its seed distance from the pass
+/// hub, and the count of hub-maximal shortest paths realizing it.
+pub(crate) type Seed = (VertexId, u32, u64);
+
+/// The batched counterpart of [`maintenance_pass`]: one traversal repairs
+/// everything a whole batch of edge insertions changed for hub `vk`.
+///
+/// Seeds sit at heterogeneous depths (one per inserted edge the hub's
+/// pre-batch label reaches), so vertices are processed in nondecreasing
+/// distance order through a monotone bucket queue. Two extra cases versus
+/// the single-seed BFS:
+///
+/// * colliding seeds (two edges sharing an endpoint) merge — minimum
+///   distance wins, equal distances accumulate counts;
+/// * a seed the traversal reaches *earlier* than its seed depth is
+///   relaxed downward (its seeded path class is not shortest and counts
+///   for nothing), the only downward relaxation possible — non-seed
+///   vertices are discovered in final-distance order, exactly as in BFS.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn multi_source_pass(
+    graph: &DiGraph,
+    ranks: &RankTable,
+    labels: &mut Labels,
+    inverted: &mut Option<InvertedIndex>,
+    state: &mut SearchState,
+    cache: &mut HubCache,
+    strategy: UpdateStrategy,
+    direction: Direction,
+    vk_rank: u32,
+    vk: VertexId,
+    seeds: &[Seed],
+    report: &mut UpdateReport,
+) -> Result<(), LabelingError> {
+    debug_assert!(!seeds.is_empty());
+    let (own_side, target_side) = direction.sides();
+    fill_hub_cache(labels, cache, vk, vk_rank, own_side);
+
+    state.reset();
+    let base = seeds.iter().map(|&(_, d, _)| d).min().expect("non-empty");
+    // buckets[d - base] holds the frontier at distance d; pushes always
+    // target the current or a deeper bucket (monotonicity), so stale
+    // entries are filtered by re-checking the recorded distance at pop.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new()];
+    let push = |buckets: &mut Vec<Vec<u32>>, d: u32, v: VertexId| {
+        let level = (d - base) as usize;
+        if buckets.len() <= level {
+            buckets.resize_with(level + 1, Vec::new);
+        }
+        buckets[level].push(v.0);
+    };
+
+    for &(start, d, c) in seeds {
+        if !state.visited(start) {
+            state.visit(start, d, c);
+            push(&mut buckets, d, start);
+        } else if state.dist[start.index()] == d {
+            state.accumulate(start, c);
+        } else if d < state.dist[start.index()] {
+            state.relax(start, d, c);
+            push(&mut buckets, d, start);
+        }
+        // d > recorded: a longer seeded class to the same start; its paths
+        // are not shortest and contribute nothing.
+    }
+
+    let mut level = 0usize;
+    while level < buckets.len() {
+        let mut i = 0usize;
+        while i < buckets[level].len() {
+            let w = VertexId(buckets[level][i]);
+            i += 1;
+            let dw = base + level as u32;
+            if state.dist[w.index()] != dw {
+                continue; // superseded by a downward relaxation
+            }
+            let cw = state.count[w.index()];
+            report.vertices_visited += 1;
+
+            if dw > covered_dist(labels, cache, w, target_side) {
+                continue;
+            }
+
+            let improved = update_label(
+                labels,
+                inverted,
+                w,
+                target_side,
+                vk,
+                vk_rank,
+                dw,
+                cw,
+                report,
+            )?;
+            if improved && strategy == UpdateStrategy::Minimality {
+                let inv = inverted
+                    .as_mut()
+                    .expect("minimality requires inverted indexes");
+                clean_label(labels, inv, ranks, w, target_side, report);
+            }
+
+            let nbrs = match direction {
+                Direction::Forward => graph.nbr_out(w),
+                Direction::Backward => graph.nbr_in(w),
+            };
+            for &u in nbrs {
+                let u = VertexId(u);
+                if !state.visited(u) {
+                    if vk_rank < ranks.rank(u) {
+                        state.visit(u, dw + 1, cw);
+                        push(&mut buckets, dw + 1, u);
+                    }
+                } else if state.dist[u.index()] == dw + 1 {
+                    state.accumulate(u, cw);
+                } else if state.dist[u.index()] > dw + 1 {
+                    // Only deeper-seeded vertices can be relaxed downward.
+                    state.relax(u, dw + 1, cw);
+                    push(&mut buckets, dw + 1, u);
+                }
+            }
+        }
+        level += 1;
+    }
+    Ok(())
+}

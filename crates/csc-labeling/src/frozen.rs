@@ -12,7 +12,12 @@
 //! from a `Labels` in one pass. Per vertex, the in-list and out-list are
 //! adjacent in the arena, and couples (`v_i = 2v`, `v_o = 2v + 1` under the
 //! bipartite id scheme) are adjacent to each other — so the two slices a
-//! `SCCnt(v)` query intersects usually share cache lines.
+//! `SCCnt(v)` query intersects usually share cache lines. Once frozen, an
+//! arena can also be *patched* instead of rebuilt:
+//! [`refreeze_spans`](FrozenLabels::refreeze_spans) folds the lists a
+//! batch of updates dirtied into a copy of the existing arena, which is
+//! what keeps snapshot republication cost proportional to the update, not
+//! the index.
 //!
 //! Both layouts answer queries through the [`LabelStore`] trait, whose
 //! default `dist_count` uses [`intersect_adaptive`]. The kernel picks a
@@ -126,8 +131,15 @@ impl LabelStore for Labels {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FrozenLabels {
     entries: Vec<LabelEntry>,
-    /// Indexed by slot `2v` (in-list of `v`) / `2v + 1` (out-list of `v`).
+    /// Indexed by slot `2v` (in-list of `v`) / `2v + 1` (out-list of `v`)
+    /// — the same encoding as [`crate::labels::label_slot`].
     spans: Vec<(u32, u32)>,
+    /// Arena entries no span points at anymore. [`refreeze_spans`] strands
+    /// the old copy of every list it relocates; the count drives the
+    /// caller's compaction policy ([`Self::dead_fraction`]).
+    ///
+    /// [`refreeze_spans`]: Self::refreeze_spans
+    dead: u32,
 }
 
 impl FrozenLabels {
@@ -186,10 +198,104 @@ impl FrozenLabels {
                 }
             }
         }
-        FrozenLabels { entries, spans }
+        FrozenLabels {
+            entries,
+            spans,
+            dead: 0,
+        }
     }
 
-    /// Index size in bytes of the frozen arena (entries + spans).
+    /// Produces a new arena equal to re-freezing `labels`, by patching only
+    /// the listed dirty slots (see
+    /// [`Labels::take_dirty`](crate::Labels::take_dirty)) into a copy of
+    /// `self` — `O(arena copy + changed entries)` instead of a full
+    /// per-list re-gather.
+    ///
+    /// A dirty list whose length is unchanged is overwritten in place; a
+    /// grown or shrunk list is appended at the arena tail and its old span
+    /// becomes dead space. Dead space accumulates across generations —
+    /// callers should fall back to a full [`freeze`](Self::freeze) /
+    /// [`freeze_ordered`](Self::freeze_ordered) once
+    /// [`dead_fraction`](Self::dead_fraction) crosses their threshold,
+    /// which also restores the intended hot-list layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot is out of range for `labels`, if the same slot is
+    /// listed twice, or if the patched arena would exceed `u32` spans.
+    pub fn refreeze_spans(&self, labels: &Labels, dirty_slots: &[u32]) -> Self {
+        let mut fresh = self.clone();
+        let n = Labels::vertex_count(labels);
+        assert!(
+            fresh.spans.len() <= 2 * n,
+            "labels cover fewer vertices than the frozen arena"
+        );
+        // Vertices added since the freeze: empty placeholder spans (their
+        // slots are dirty, so real content lands below).
+        fresh.spans.resize(2 * n, (0, 0));
+        let mut seen = vec![false; 2 * n];
+        for &slot in dirty_slots {
+            let (v, side) = crate::labels::slot_list(slot);
+            assert!(v.index() < n, "dirty slot {slot} out of range");
+            assert!(!seen[slot as usize], "dirty slot {slot} listed twice");
+            seen[slot as usize] = true;
+            let list = labels.side_of(v, side);
+            let (lo, hi) = fresh.spans[slot as usize];
+            if (hi - lo) as usize == list.len() {
+                fresh.entries[lo as usize..hi as usize].copy_from_slice(list);
+            } else {
+                fresh.dead += hi - lo;
+                let lo2 = fresh.entries.len();
+                fresh.entries.extend_from_slice(list);
+                let hi2 = u32::try_from(fresh.entries.len())
+                    .expect("patched label arena exceeds u32 spans");
+                fresh.spans[slot as usize] = (lo2 as u32, hi2);
+            }
+        }
+        fresh
+    }
+
+    /// The `(dead, total)` arena entry counts [`refreeze_spans`]
+    /// would produce for this dirty set, computed in `O(dirty)` without
+    /// touching the arena — callers can decide to compact (full freeze)
+    /// *instead of* paying for a patched copy they would throw away.
+    ///
+    /// [`refreeze_spans`]: Self::refreeze_spans
+    pub fn projected_refreeze(&self, labels: &Labels, dirty_slots: &[u32]) -> (usize, usize) {
+        let mut dead = self.dead as usize;
+        let mut total = self.entries.len();
+        for &slot in dirty_slots {
+            let (v, side) = crate::labels::slot_list(slot);
+            let new_len = labels.side_of(v, side).len();
+            let old_len = self
+                .spans
+                .get(slot as usize)
+                .map_or(0, |&(lo, hi)| (hi - lo) as usize);
+            if new_len != old_len {
+                dead += old_len;
+                total += new_len;
+            }
+        }
+        (dead, total)
+    }
+
+    /// Arena entries stranded by [`refreeze_spans`](Self::refreeze_spans)
+    /// relocations (no span addresses them).
+    pub fn dead_entries(&self) -> usize {
+        self.dead as usize
+    }
+
+    /// Fraction of the arena that is dead space, in `0.0..=1.0`.
+    pub fn dead_fraction(&self) -> f64 {
+        if self.entries.is_empty() {
+            0.0
+        } else {
+            self.dead as f64 / self.entries.len() as f64
+        }
+    }
+
+    /// Index size in bytes of the frozen arena (entries + spans),
+    /// including dead space awaiting compaction.
     pub fn arena_bytes(&self) -> usize {
         self.entries.len() * std::mem::size_of::<LabelEntry>()
             + self.spans.len() * std::mem::size_of::<(u32, u32)>()
@@ -220,7 +326,7 @@ impl LabelStore for FrozenLabels {
 
     #[inline]
     fn total_entries(&self) -> usize {
-        self.entries.len()
+        self.entries.len() - self.dead as usize
     }
 }
 
@@ -489,6 +595,74 @@ mod tests {
         assert!(a.len().min(b.len()) >= DUAL_CHAIN_MIN);
         assert_eq!(intersect_adaptive(&a, &b), intersect(&a, &b));
         assert_eq!(intersect_adaptive(&b, &a), intersect(&a, &b));
+    }
+
+    #[test]
+    fn refreeze_spans_tracks_mutations() {
+        let mut labels = sample_labels();
+        labels.take_dirty();
+        let frozen = FrozenLabels::freeze(&labels);
+
+        // Same-length change: in-place overwrite, no dead space.
+        labels.upsert(v(1), LabelSide::In, e(2, 9, 9));
+        // Growth: list relocates to the tail, old span goes dead.
+        labels.upsert(v(0), LabelSide::Out, e(1, 2, 2));
+        // Shrink to empty.
+        labels.remove(v(3), LabelSide::Out, 1);
+        // Brand-new vertex.
+        labels.push_vertex();
+        labels.append(v(4), LabelSide::In, e(5, 1, 1));
+
+        let dirty = labels.take_dirty();
+        let patched = frozen.refreeze_spans(&labels, &dirty);
+        let full = FrozenLabels::freeze(&labels);
+        assert_eq!(LabelStore::vertex_count(&patched), 5);
+        for i in 0..5 {
+            assert_eq!(
+                LabelStore::in_of(&patched, v(i)),
+                LabelStore::in_of(&full, v(i)),
+                "in-list of {i}"
+            );
+            assert_eq!(
+                LabelStore::out_of(&patched, v(i)),
+                LabelStore::out_of(&full, v(i)),
+                "out-list of {i}"
+            );
+        }
+        // Logical size matches; dead space counts the two relocations
+        // (Lout(0) had 2 entries, Lout(3) had 1).
+        assert_eq!(
+            LabelStore::total_entries(&patched),
+            LabelStore::total_entries(&full)
+        );
+        assert_eq!(patched.dead_entries(), 3);
+        assert!(patched.dead_fraction() > 0.0 && patched.dead_fraction() < 1.0);
+        assert_eq!(frozen.dead_entries(), 0, "source arena untouched");
+
+        // A second generation keeps patching the patched arena.
+        labels.upsert(v(2), LabelSide::In, e(0, 1, 1));
+        let dirty2 = labels.take_dirty();
+        let patched2 = patched.refreeze_spans(&labels, &dirty2);
+        assert_eq!(
+            LabelStore::in_of(&patched2, v(2)),
+            labels.in_of(v(2)),
+            "second-generation patch"
+        );
+    }
+
+    #[test]
+    fn refreeze_with_no_dirt_is_identical() {
+        let labels = sample_labels();
+        let frozen = FrozenLabels::freeze(&labels);
+        assert_eq!(frozen.refreeze_spans(&labels, &[]), frozen);
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn refreeze_rejects_duplicate_slots() {
+        let labels = sample_labels();
+        let frozen = FrozenLabels::freeze(&labels);
+        let _ = frozen.refreeze_spans(&labels, &[0, 0]);
     }
 
     #[test]

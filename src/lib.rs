@@ -49,8 +49,8 @@ pub use csc_labeling as labeling;
 /// The common imports for working with the library.
 pub mod prelude {
     pub use csc_core::{
-        ConcurrentIndex, CscConfig, CscError, CscIndex, CycleCount, SnapshotIndex, SnapshotStats,
-        UpdateReport, UpdateStrategy,
+        BatchReport, ConcurrentIndex, CscConfig, CscError, CscIndex, CycleCount, GraphUpdate,
+        SnapshotIndex, SnapshotStats, UpdateReport, UpdateStrategy,
     };
     pub use csc_graph::{DiGraph, GraphError, OrderingStrategy, VertexId};
     pub use csc_labeling::{scc_count_bfs, BfsCycleEngine, FrozenLabels, HpSpcIndex, LabelStore};
