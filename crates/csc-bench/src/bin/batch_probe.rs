@@ -60,4 +60,7 @@ fn main() {
         del_t / del_n.max(1) as f64 * 1e3,
         del_n
     );
+    // Drift after the replay: how far the maintained index has moved from
+    // its post-build baseline (label growth, per-side split, churn).
+    eprintln!("health: {}", idx.health());
 }

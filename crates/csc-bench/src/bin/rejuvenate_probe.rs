@@ -1,0 +1,24 @@
+//! Quick driver for the `churn_drift` experiment at a given scale (dev
+//! tool and CI smoke): sustained churn → online rejuvenation under a live
+//! reader → from-scratch yardstick. Prints the drift table, the served
+//! index health before/after, and the rebuild-window reader percentiles;
+//! appends JSON lines (the repo records them in `BENCH_rejuvenate.json`)
+//! when `CRITERION_JSON` names a file.
+//!
+//! ```text
+//! rejuvenate_probe [scale]      # default 0.05
+//! ```
+use csc_bench::experiments::{churn_drift, ExpContext};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let ctx = ExpContext {
+        scale,
+        quick: scale < 0.1,
+        ..ExpContext::default()
+    };
+    println!("{}", churn_drift::run(&ctx));
+}

@@ -12,6 +12,7 @@
 //!   case-study     Figure 13 — fraud-screening case study
 //!   throughput     Extension — concurrent read throughput
 //!   stream-replay  Extension — batched update-stream replay
+//!   churn-drift    Extension — churn drift and online rejuvenation
 //!   all            Everything above, in order
 //!
 //! Options:
@@ -23,14 +24,15 @@
 //! ```
 
 use csc_bench::experiments::{
-    ablation, case_study, fig10, fig11, fig12, fig9, stream_replay, table4, throughput, ExpContext,
+    ablation, case_study, churn_drift, fig10, fig11, fig12, fig9, stream_replay, table4,
+    throughput, ExpContext,
 };
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--seed N] [--quick] [--datasets A,B] [--out DIR] \
-         <table4|fig9|fig10|fig11|fig12|case-study|throughput|stream-replay|ablation|all>"
+         <table4|fig9|fig10|fig11|fig12|case-study|throughput|stream-replay|churn-drift|ablation|all>"
     );
     std::process::exit(2);
 }
@@ -89,6 +91,7 @@ fn main() -> ExitCode {
             "case-study" | "case_study" | "fig13" => println!("{}", case_study::run(ctx)),
             "throughput" => println!("{}", throughput::run(ctx)),
             "stream-replay" | "stream_replay" => println!("{}", stream_replay::run(ctx)),
+            "churn-drift" | "churn_drift" => println!("{}", churn_drift::run(ctx)),
             "ablation" => println!("{}", ablation::run(ctx)),
             _ => return false,
         }
@@ -105,6 +108,7 @@ fn main() -> ExitCode {
             "case-study",
             "throughput",
             "stream-replay",
+            "churn-drift",
             "ablation",
         ] {
             eprintln!("==> {name}");

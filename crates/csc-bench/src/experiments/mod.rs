@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod case_study;
+pub mod churn_drift;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

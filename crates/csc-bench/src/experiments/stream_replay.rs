@@ -242,7 +242,11 @@ pub fn measure_kind(
     let spec = by_code("G04").expect("G04 exists");
     let g = generate(spec, ctx.scale, ctx.seed);
     let ops = if ctx.quick { 128 } else { 512 };
-    let pool = (ops * insert_pct.max(50) as usize / 100).clamp(8, g.edge_count() / 4);
+    // `.min` then `.max`, not `clamp`: at tiny scales edge_count/4 can
+    // drop below 8 and `clamp(8, <8)` panics on min > max.
+    let pool = (ops * insert_pct.max(50) as usize / 100)
+        .min(g.edge_count() / 4)
+        .max(1);
     let (reduced, trace) = build_trace(&g, pool, ops, insert_pct, ctx.seed);
     // `snapshot_every = 1`: publish as eagerly as the batch size allows,
     // so reader staleness is bounded by one batch in every configuration

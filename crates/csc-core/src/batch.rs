@@ -79,6 +79,13 @@ pub struct BatchReport {
     /// sets — each ran at most two (forward/backward) repair passes for
     /// the *whole* batch.
     pub insert_hub_union: usize,
+    /// Updates accepted into the maintenance plane's write-ahead replay
+    /// queue instead of being applied now. Always `0` from
+    /// [`CscIndex::apply_batch`] itself; non-zero only when a
+    /// [`MaintenanceEngine`](crate::MaintenanceEngine) (or its
+    /// [`ConcurrentIndex`](crate::ConcurrentIndex) facade) receives the
+    /// batch mid-rejuvenation.
+    pub queued: usize,
     /// Aggregated label-repair counters across the batch, including its
     /// wall-clock duration.
     pub repair: UpdateReport,

@@ -369,55 +369,112 @@ impl CoupleBfs {
     }
 }
 
+/// A resumable run of the static construction (Algorithm 3): hubs are
+/// processed in descending rank order, and [`advance`](Self::advance)
+/// covers a bounded number of ranks per call. A cooperative caller — the
+/// maintenance plane's rejuvenation rebuild — can therefore interleave
+/// other work (accepting writes into its replay queue, publishing
+/// snapshots) between chunks instead of disappearing into one monolithic
+/// build. [`build_labels`] is the degenerate single-chunk driver, so the
+/// static and rejuvenation builds share one code path.
+pub(crate) struct LabelBuildTask {
+    labels: Labels,
+    bfs: CoupleBfs,
+    counters: TraversalCounters,
+    next_rank: u32,
+}
+
+impl LabelBuildTask {
+    /// Starts a build over `n` bipartite vertices.
+    pub(crate) fn new(n: usize) -> Result<Self, LabelingError> {
+        let max = (csc_labeling::MAX_HUB_RANK as usize) + 1;
+        if n > max {
+            return Err(LabelingError::TooManyVertices { got: n, max });
+        }
+        Ok(LabelBuildTask {
+            labels: Labels::new(n),
+            bfs: CoupleBfs::new(n),
+            counters: TraversalCounters::default(),
+            next_rank: 0,
+        })
+    }
+
+    /// `(ranks processed, ranks total)` — total is only meaningful against
+    /// the rank table passed to [`advance`](Self::advance).
+    pub(crate) fn ranks_done(&self) -> u32 {
+        self.next_rank
+    }
+
+    /// Processes up to `rank_budget` further ranks of `ranks` over the
+    /// adjacency snapshot `csr`. Returns `true` once every rank has been
+    /// processed (construction complete). `csr` and `ranks` must be the
+    /// same on every call of one task.
+    pub(crate) fn advance(
+        &mut self,
+        csr: &Csr,
+        ranks: &RankTable,
+        rank_budget: usize,
+    ) -> Result<bool, LabelingError> {
+        let end = (self.next_rank as usize).saturating_add(rank_budget.max(1));
+        let end = end.min(ranks.len()) as u32;
+        while self.next_rank < end {
+            let hub = ranks.vertex_at_rank(self.next_rank);
+            if is_in_vertex(hub) {
+                self.bfs.run_in(
+                    csr,
+                    ranks,
+                    &mut self.labels,
+                    None,
+                    &mut self.counters,
+                    hub,
+                    WriteMode::Append,
+                )?;
+                self.bfs.run_out(
+                    csr,
+                    ranks,
+                    &mut self.labels,
+                    None,
+                    &mut self.counters,
+                    hub,
+                    WriteMode::Append,
+                )?;
+            } else {
+                // V_out vertices never act as hubs for other vertices
+                // (Algorithm 3 lines 6-8): self labels only.
+                let r = ranks.rank(hub);
+                let self_entry =
+                    LabelEntry::new(r, 0, 1).map_err(|source| LabelingError::Entry {
+                        hub,
+                        vertex: hub,
+                        source,
+                    })?;
+                self.labels.append(hub, LabelSide::In, self_entry);
+                self.labels.append(hub, LabelSide::Out, self_entry);
+                self.counters.canonical += 2;
+                self.counters.inserted += 2;
+            }
+            self.next_rank += 1;
+        }
+        Ok(self.next_rank as usize >= ranks.len())
+    }
+
+    /// Consumes the task, yielding the built labels and counters.
+    pub(crate) fn finish(self) -> (Labels, TraversalCounters) {
+        (self.labels, self.counters)
+    }
+}
+
 /// Builds the full CSC label set for a bipartite graph under `ranks`
-/// (Algorithm 3). Returns labels and traversal counters.
+/// (Algorithm 3) in one go. Returns labels and traversal counters.
 pub(crate) fn build_labels(
     csr: &Csr,
     ranks: &RankTable,
     counters: &mut TraversalCounters,
 ) -> Result<Labels, LabelingError> {
-    let n = csr.vertex_count();
-    let max = (csc_labeling::MAX_HUB_RANK as usize) + 1;
-    if n > max {
-        return Err(LabelingError::TooManyVertices { got: n, max });
-    }
-    let mut labels = Labels::new(n);
-    let mut bfs = CoupleBfs::new(n);
-    for hub in ranks.by_rank() {
-        if is_in_vertex(hub) {
-            bfs.run_in(
-                csr,
-                ranks,
-                &mut labels,
-                None,
-                counters,
-                hub,
-                WriteMode::Append,
-            )?;
-            bfs.run_out(
-                csr,
-                ranks,
-                &mut labels,
-                None,
-                counters,
-                hub,
-                WriteMode::Append,
-            )?;
-        } else {
-            // V_out vertices never act as hubs for other vertices
-            // (Algorithm 3 lines 6-8): self labels only.
-            let r = ranks.rank(hub);
-            let self_entry = LabelEntry::new(r, 0, 1).map_err(|source| LabelingError::Entry {
-                hub,
-                vertex: hub,
-                source,
-            })?;
-            labels.append(hub, LabelSide::In, self_entry);
-            labels.append(hub, LabelSide::Out, self_entry);
-            counters.canonical += 2;
-            counters.inserted += 2;
-        }
-    }
+    let mut task = LabelBuildTask::new(csr.vertex_count())?;
+    while !task.advance(csr, ranks, usize::MAX)? {}
+    let (labels, built) = task.finish();
+    *counters = built;
     Ok(labels)
 }
 
@@ -442,6 +499,27 @@ mod tests {
             "append mode inserts exactly the stored entries"
         );
         (labels, ranks)
+    }
+
+    #[test]
+    fn chunked_build_equals_monolithic() {
+        let g = csc_graph::generators::gnm(30, 100, 8);
+        let gb = BipartiteGraph::from_graph(&g);
+        let ranks = RankTable::build(&g, OrderingStrategy::Degree).bipartite_order();
+        let csr = Csr::from_digraph(gb.graph());
+        let mut counters = TraversalCounters::default();
+        let whole = build_labels(&csr, &ranks, &mut counters).unwrap();
+
+        let mut task = LabelBuildTask::new(csr.vertex_count()).unwrap();
+        let mut chunks = 0;
+        while !task.advance(&csr, &ranks, 7).unwrap() {
+            chunks += 1;
+            assert!(task.ranks_done() > 0 && (task.ranks_done() as usize) < ranks.len());
+        }
+        let (labels, chunk_counters) = task.finish();
+        assert!(chunks > 2, "the budget actually chunked the build");
+        assert_eq!(labels, whole);
+        assert_eq!(chunk_counters, counters);
     }
 
     #[test]

@@ -33,10 +33,21 @@
 //! ([`SnapshotIndex::refreeze_from`]) instead of re-gathering the whole
 //! store. Batches ([`apply_batch`](ConcurrentIndex::apply_batch)) publish
 //! at most once per call, no matter how many updates they carry.
+//!
+//! The writer side is a thin facade over the
+//! [`MaintenanceEngine`] state machine, which
+//! also owns **rejuvenation**: a chunked online rebuild (fresh ordering
+//! over the current graph) with a write-ahead replay queue, swapped in as
+//! a single atomic snapshot publication while readers keep serving the
+//! old `Arc` unblocked. See [`health`](ConcurrentIndex::health),
+//! [`rejuvenate`](ConcurrentIndex::rejuvenate), and
+//! [`maintain`](ConcurrentIndex::maintain).
 
 use crate::batch::{BatchReport, GraphUpdate};
 use crate::error::CscError;
+use crate::health::{IndexHealth, RebuildReason};
 use crate::index::CscIndex;
+use crate::maintain::{MaintenanceEngine, MaintenanceStatus, RejuvenationReport};
 use crate::snapshot::SnapshotIndex;
 use crate::stats::{SnapshotStats, UpdateReport};
 use csc_graph::VertexId;
@@ -76,8 +87,10 @@ use std::sync::Arc;
 /// assert_eq!(snapshot.query(VertexId(0)).unwrap().length, 3, "held Arc pinned");
 /// ```
 pub struct ConcurrentIndex {
-    /// Writer state: the live, mutable index.
-    inner: RwLock<CscIndex>,
+    /// Writer state: the maintenance engine owning the live index (see
+    /// [`MaintenanceEngine`] — the state machine behind every write path,
+    /// including rejuvenation).
+    inner: RwLock<MaintenanceEngine>,
     /// Publication slot. Critical sections are O(1) (`Arc` clone / swap),
     /// so readers never wait on label maintenance happening under `inner`.
     snapshot: RwLock<Arc<SnapshotIndex>>,
@@ -91,14 +104,14 @@ pub struct ConcurrentIndex {
 
 impl ConcurrentIndex {
     /// Wraps an index, freezing and publishing its initial snapshot.
-    pub fn new(mut index: CscIndex) -> Self {
+    pub fn new(index: CscIndex) -> Self {
         let refresh_every = index.config().snapshot_every;
+        let mut engine = MaintenanceEngine::new(index);
         // Baseline the dirty tracking: the initial snapshot covers
         // everything, so only post-construction mutations matter.
-        index.labels.take_dirty();
-        let snapshot = Arc::new(index.freeze());
+        let snapshot = Arc::new(engine.publish_from(None));
         ConcurrentIndex {
-            inner: RwLock::new(index),
+            inner: RwLock::new(engine),
             snapshot: RwLock::new(snapshot),
             pending: AtomicUsize::new(0),
             published: AtomicUsize::new(1),
@@ -123,32 +136,42 @@ impl ConcurrentIndex {
 
     /// `SCCnt(v)` against the live index under its read lock. Exact, but
     /// contends with the writer — reserve for read-your-writes needs.
+    /// During a rejuvenation window the live index lags by the queued
+    /// updates (they apply at replay).
     pub fn query_fresh(&self, v: VertexId) -> Option<CycleCount> {
-        self.inner.read().query(v)
+        self.inner.read().index().query(v)
     }
 
     /// Evaluates `f` over the live index under its read lock (for batch
     /// reads that need the very latest consistent state).
     pub fn with_read<R>(&self, f: impl FnOnce(&CscIndex) -> R) -> R {
-        f(&self.inner.read())
+        f(self.inner.read().index())
     }
 
     /// Inserts an edge under the write lock, republishing the snapshot
     /// when the refresh policy says so.
+    ///
+    /// During a rejuvenation window the write is queued (write-ahead) and
+    /// an empty report is returned; validity is resolved at replay with
+    /// the skip-invalid batch semantics.
     pub fn insert_edge(&self, a: VertexId, b: VertexId) -> Result<UpdateReport, CscError> {
         let mut guard = self.inner.write();
         let report = guard.insert_edge(a, b)?;
-        self.after_updates(&mut guard, 1);
-        Ok(report)
+        let applied = usize::from(report.is_some());
+        self.after_updates(&mut guard, applied);
+        Ok(report.unwrap_or_default())
     }
 
     /// Removes an edge under the write lock, republishing the snapshot
-    /// when the refresh policy says so.
+    /// when the refresh policy says so. Queued (with an empty report)
+    /// during a rejuvenation window, like
+    /// [`insert_edge`](Self::insert_edge).
     pub fn remove_edge(&self, a: VertexId, b: VertexId) -> Result<UpdateReport, CscError> {
         let mut guard = self.inner.write();
         let report = guard.remove_edge(a, b)?;
-        self.after_updates(&mut guard, 1);
-        Ok(report)
+        let applied = usize::from(report.is_some());
+        self.after_updates(&mut guard, applied);
+        Ok(report.unwrap_or_default())
     }
 
     /// Applies a whole update batch under one write-lock acquisition (see
@@ -159,6 +182,8 @@ impl ConcurrentIndex {
     /// This is the preferred write path for streaming workloads: readers
     /// see whole batches atomically (never a half-applied window), and
     /// the per-update publication cost shrinks with the batch size.
+    /// During a rejuvenation window the whole batch is queued
+    /// ([`BatchReport::queued`]).
     pub fn apply_batch(&self, updates: &[GraphUpdate]) -> Result<BatchReport, CscError> {
         let mut guard = self.inner.write();
         let report = guard.apply_batch(updates)?;
@@ -171,8 +196,9 @@ impl ConcurrentIndex {
     /// readers simply answer `None` for the not-yet-covered vertex.
     pub fn add_vertex(&self) -> VertexId {
         let mut guard = self.inner.write();
+        let rebuilding = guard.is_rebuilding();
         let v = guard.add_vertex();
-        self.after_updates(&mut guard, 1);
+        self.after_updates(&mut guard, usize::from(!rebuilding));
         v
     }
 
@@ -195,28 +221,110 @@ impl ConcurrentIndex {
         }
     }
 
-    /// Unwraps back into the plain index.
-    pub fn into_inner(self) -> CscIndex {
-        self.inner.into_inner()
-    }
-
-    fn after_updates(&self, index: &mut CscIndex, applied: usize) {
-        let pending = self.pending.fetch_add(applied, Ordering::Relaxed) + applied;
-        if applied > 0 && self.refresh_every > 0 && pending >= self.refresh_every {
-            self.publish(index);
+    /// The live drift report: label growth vs. the post-build baseline,
+    /// the served arena's dead space, churned (bottom-ranked) vertices,
+    /// and the maintenance-plane state (replay queue depth, rebuild flag).
+    pub fn health(&self) -> IndexHealth {
+        let health = self.inner.read().health();
+        IndexHealth {
+            dead_fraction: self.snapshot.read().labels().dead_fraction(),
+            ..health
         }
     }
 
-    /// Publishes incrementally: patch the dirtied label spans into a copy
-    /// of the currently published arena rather than re-freezing the whole
-    /// store. The invariant making this sound — published snapshot ==
-    /// label store at the last drain of the dirty set — holds because
-    /// *every* publication (constructor, auto, manual) drains here under
-    /// the write lock.
-    fn publish(&self, index: &mut CscIndex) {
-        let dirty = index.labels.take_dirty();
+    /// Maintenance-plane lifetime counters (rejuvenations started /
+    /// completed / failed, updates replayed, cooperative steps).
+    pub fn maintenance_stats(&self) -> crate::maintain::MaintenanceStats {
+        *self.inner.read().maintenance_stats()
+    }
+
+    /// Starts a rejuvenation (online rebuild) without driving it: the
+    /// rebuild advances cooperatively — a bounded chunk per subsequent
+    /// write, or explicitly via [`maintain`](Self::maintain). Readers are
+    /// never blocked; writes queue into the write-ahead replay log until
+    /// the swap. No-op if a rebuild is already in flight.
+    pub fn begin_rejuvenation(&self) -> Result<(), CscError> {
+        self.inner.write().begin_rejuvenation(RebuildReason::Manual)
+    }
+
+    /// Advances an in-flight rejuvenation by up to `rank_budget` hub ranks
+    /// (or one replay chunk), publishing the rejuvenated snapshot in one
+    /// atomic swap when it completes. Returns the maintenance state, so
+    /// callers can drive with `while maintain(..)? != Serving {}` between
+    /// their own work. A no-op returning `Serving` when nothing is in
+    /// flight.
+    pub fn maintain(&self, rank_budget: usize) -> Result<MaintenanceStatus, CscError> {
+        let mut guard = self.inner.write();
+        let was_rebuilding = guard.is_rebuilding();
+        let status = guard.step(rank_budget)?;
+        if was_rebuilding && status == MaintenanceStatus::Serving {
+            self.publish(&mut guard);
+        }
+        Ok(status)
+    }
+
+    /// Rejuvenates synchronously: rebuild with a freshly computed
+    /// ordering, replay the write-ahead queue, swap, and publish — all
+    /// under one write-lock hold. Snapshot readers keep serving the old
+    /// `Arc` unblocked throughout; `query_fresh` / new writes block for
+    /// the duration (use [`begin_rejuvenation`](Self::begin_rejuvenation)
+    /// + [`maintain`](Self::maintain) to interleave them instead).
+    pub fn rejuvenate(&self) -> Result<RejuvenationReport, CscError> {
+        let mut guard = self.inner.write();
+        let report = guard.rejuvenate(RebuildReason::Manual)?;
+        self.publish(&mut guard);
+        Ok(report)
+    }
+
+    /// Unwraps back into the plain index. An in-flight rejuvenation is
+    /// abandoned with its queue replayed (see
+    /// [`MaintenanceEngine::into_index`]).
+    pub fn into_inner(self) -> CscIndex {
+        self.inner.into_inner().into_index()
+    }
+
+    fn after_updates(&self, engine: &mut MaintenanceEngine, applied: usize) {
+        // Cooperative maintenance first: a policy trip starts the rebuild,
+        // an in-flight one advances a bounded chunk on the writer's dime.
+        // The dead-space threshold is judged against the *served* arena —
+        // the engine's own health cannot see it.
+        if !engine.is_rebuilding() && engine.policy().auto {
+            let dead = self.snapshot.read().labels().dead_fraction();
+            let _ = engine.maybe_begin(dead);
+        }
+        if engine.is_rebuilding() {
+            match engine.step(crate::maintain::DEFAULT_STEP_RANKS) {
+                // Completion swap: publish the rejuvenated index.
+                Ok(MaintenanceStatus::Serving) => self.publish(engine),
+                // Still rebuilding / replaying: publication resumes at the
+                // swap.
+                Ok(_) => {}
+                // Failed rebuild: the engine abandoned it and replayed the
+                // write-ahead queue onto the old (still valid) index —
+                // publish so those writes reach snapshot readers instead
+                // of lingering unpublished. The ride-along write itself
+                // succeeded; the failure is recorded in
+                // `maintenance_stats().rejuvenations_failed`.
+                Err(_) => self.publish(engine),
+            }
+            return;
+        }
+        let pending = self.pending.fetch_add(applied, Ordering::Relaxed) + applied;
+        if applied > 0 && self.refresh_every > 0 && pending >= self.refresh_every {
+            self.publish(engine);
+        }
+    }
+
+    /// Publishes through the engine's freeze policy: incremental (patch
+    /// only the dirtied label spans into a copy of the served arena) in
+    /// the steady state, a full couple-ordered freeze right after a
+    /// rejuvenation swap. The invariant making incremental publication
+    /// sound — published snapshot == label store at the last drain of the
+    /// dirty set — holds because *every* publication (constructor, auto,
+    /// manual, post-swap) drains here under the write lock.
+    fn publish(&self, engine: &mut MaintenanceEngine) {
         let prev = self.snapshot.read().clone();
-        let fresh = Arc::new(SnapshotIndex::refreeze_from(&prev, index, &dirty));
+        let fresh = Arc::new(engine.publish_from(Some(&prev)));
         *self.snapshot.write() = fresh;
         self.pending.store(0, Ordering::Relaxed);
         self.published.fetch_add(1, Ordering::Relaxed);
@@ -469,6 +577,130 @@ mod tests {
                 assert_eq!(snap.total_entries(), idx.total_entries());
             });
         }
+    }
+
+    #[test]
+    fn cooperative_rejuvenation_queues_writes_and_swaps_once() {
+        // 200 vertices = 400 bipartite ranks: three ride-along chunks of
+        // DEFAULT_STEP_RANKS cannot finish the rebuild, so the queueing
+        // window is observable deterministically.
+        let g = csc_graph::generators::gnm(200, 600, 17);
+        let config = CscConfig::default().with_snapshot_every(1);
+        let shared = ConcurrentIndex::new(CscIndex::build(&g, config).unwrap());
+        let published_before = shared.snapshot_stats().published;
+        let held = shared.snapshot();
+
+        shared.begin_rejuvenation().unwrap();
+        // Mid-rebuild writes ride along: each advances the rebuild a chunk
+        // and lands in the replay queue, never on the old labels.
+        let nv = shared.add_vertex();
+        shared.insert_edge(VertexId(0), nv).unwrap();
+        shared.insert_edge(nv, VertexId(1)).unwrap();
+        let h = shared.health();
+        assert!(h.rebuilding);
+        assert_eq!(h.replay_queued, 3);
+
+        // Drive to completion; the swap publishes exactly once.
+        while shared.maintain(usize::MAX).unwrap() != crate::MaintenanceStatus::Serving {}
+        let h = shared.health();
+        assert!(!h.rebuilding);
+        assert_eq!((h.replay_queued, h.rejuvenations), (0, 1));
+
+        // Readers: the held Arc kept answering the old state the whole
+        // time; fresh grabs see the rejuvenated index with replay applied.
+        assert_eq!(held.query(nv), None);
+        let snap = shared.snapshot();
+        shared.with_read(|idx| {
+            for v in 0..idx.original_vertex_count() as u32 {
+                assert_eq!(snap.query(VertexId(v)), idx.query(VertexId(v)));
+            }
+        });
+        let g2 = shared.with_read(|idx| idx.original_graph());
+        for v in g2.vertices() {
+            assert_eq!(
+                snap.query(v).map(|c| (c.length, c.count)),
+                shortest_cycle_oracle(&g2, v),
+                "SCCnt({v})"
+            );
+        }
+        assert!(shared.snapshot_stats().published > published_before);
+    }
+
+    #[test]
+    fn auto_policy_rejuvenates_from_the_write_path() {
+        let g = directed_cycle(8);
+        let config = CscConfig::default()
+            .with_snapshot_every(1)
+            .with_rebuild_policy(
+                crate::RebuildPolicy::default()
+                    .with_churned_vertices(2)
+                    .with_auto(true),
+            );
+        let shared = ConcurrentIndex::new(CscIndex::build(&g, config).unwrap());
+        shared.add_vertex();
+        assert_eq!(shared.health().rejuvenations, 0);
+        shared.add_vertex(); // trips the churn threshold; rebuild starts
+        while shared.maintain(usize::MAX).unwrap() != crate::MaintenanceStatus::Serving {}
+        let h = shared.health();
+        assert_eq!(h.rejuvenations, 1);
+        assert_eq!(h.churned_vertices, 0, "appended vertices re-ranked");
+        assert_eq!(shared.snapshot().query(VertexId(0)).unwrap().length, 8);
+    }
+
+    #[test]
+    fn dead_space_policy_triggers_from_the_write_path() {
+        // The dead-space threshold lives on the *served arena*: flapping
+        // one edge relocates label lists on every incremental publish,
+        // piling up dead space until the auto policy must start a rebuild
+        // (reason DeadSpace) straight from the write path.
+        let g = csc_graph::generators::gnm(24, 70, 13);
+        let config = CscConfig::default()
+            .with_snapshot_every(1)
+            .with_rebuild_policy(
+                crate::RebuildPolicy::manual_only()
+                    .with_dead_percent(5)
+                    .with_auto(true),
+            );
+        let shared = ConcurrentIndex::new(CscIndex::build(&g, config).unwrap());
+        let (a, b) = g.edge_vec()[5];
+        let mut started = false;
+        for k in 0..400 {
+            if k % 2 == 0 {
+                shared.remove_edge(VertexId(a), VertexId(b)).unwrap();
+            } else {
+                shared.insert_edge(VertexId(a), VertexId(b)).unwrap();
+            }
+            if shared.maintenance_stats().rejuvenations_started > 0 {
+                started = true;
+                break;
+            }
+        }
+        assert!(started, "dead space must eventually trip the policy");
+        assert_eq!(
+            shared.maintenance_stats().last_reason,
+            Some(crate::RebuildReason::DeadSpace)
+        );
+        while shared.maintain(usize::MAX).unwrap() != crate::MaintenanceStatus::Serving {}
+        assert_eq!(shared.maintenance_stats().rejuvenations_completed, 1);
+    }
+
+    #[test]
+    fn synchronous_rejuvenate_publishes_atomically() {
+        let g = directed_cycle(6);
+        let config = CscConfig::default().with_snapshot_every(0);
+        let shared = ConcurrentIndex::new(CscIndex::build(&g, config).unwrap());
+        shared.insert_edge(VertexId(3), VertexId(0)).unwrap();
+        assert_eq!(
+            shared.query(VertexId(0)).unwrap().length,
+            6,
+            "manual mode: stale"
+        );
+        let report = shared.rejuvenate().unwrap();
+        assert_eq!(report.replayed, 0);
+        // Rejuvenation *must* publish even under snapshot_every = 0: the
+        // old arena is retired with the old label store.
+        assert_eq!(shared.query(VertexId(0)).unwrap().length, 4);
+        assert_eq!(shared.snapshot_stats().published, 2);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Index configuration.
 
+use crate::error::CscError;
+use crate::health::RebuildPolicy;
 use csc_graph::OrderingStrategy;
 
 /// How incremental updates treat label entries that new shortest paths have
@@ -51,7 +53,15 @@ pub struct CscConfig {
     /// automatic republication entirely and call
     /// [`ConcurrentIndex::refresh`](crate::ConcurrentIndex::refresh)
     /// manually.
+    ///
+    /// `0` is a *defined* value, not a degenerate one:
+    /// [`CscConfig::validate`] accepts it and pins the manual-publication
+    /// semantics down.
     pub snapshot_every: usize,
+    /// When the maintenance plane should rejuvenate (rebuild) the index —
+    /// see [`RebuildPolicy`]. Default: trigger measurement at 200% label
+    /// growth, automatic rebuild off.
+    pub rebuild: RebuildPolicy,
 }
 
 impl Default for CscConfig {
@@ -61,6 +71,7 @@ impl Default for CscConfig {
             update_strategy: UpdateStrategy::Redundancy,
             maintain_inverted: true,
             snapshot_every: 8,
+            rebuild: RebuildPolicy::default(),
         }
     }
 }
@@ -100,6 +111,41 @@ impl CscConfig {
         self.snapshot_every = every;
         self
     }
+
+    /// Builder-style: set the rebuild (rejuvenation) policy.
+    pub fn with_rebuild_policy(mut self, policy: RebuildPolicy) -> Self {
+        self.rebuild = policy;
+        self
+    }
+
+    /// Rejects degenerate configurations. Called by `CscIndex::build` and
+    /// `CscIndex::from_bytes`, so an invalid configuration can never reach
+    /// a live index.
+    ///
+    /// The pinned semantics of the boundary values:
+    ///
+    /// * `snapshot_every == 0` is **valid** and means *never auto-publish*
+    ///   — [`ConcurrentIndex`](crate::ConcurrentIndex) republishes only on
+    ///   an explicit [`refresh`](crate::ConcurrentIndex::refresh) (or at a
+    ///   rejuvenation swap, which must publish to stay coherent).
+    /// * `rebuild.max_growth_percent` must be `0` (disabled) or `> 100`: a
+    ///   threshold at or below 100% would re-trigger immediately after the
+    ///   rebuild that satisfied it.
+    /// * `rebuild.max_dead_percent` must be `<= 100` — it is a fraction of
+    ///   the arena.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CscError::Config`] naming the offending field.
+    pub fn validate(&self) -> Result<(), CscError> {
+        self.rebuild.validate().map_err(CscError::Config)?;
+        if self.update_strategy == UpdateStrategy::Minimality && !self.maintain_inverted {
+            return Err(CscError::Config(
+                "update_strategy Minimality requires maintain_inverted".into(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -136,6 +182,30 @@ mod tests {
             .with_update_strategy(UpdateStrategy::Minimality)
             .with_inverted(false);
         assert!(c2.maintain_inverted, "inverted stays on under minimality");
+    }
+
+    #[test]
+    fn validate_pins_snapshot_every_zero_as_manual_only() {
+        // `0` is the documented manual-publication mode, not an error; the
+        // concurrent tests (`manual_refresh_and_disabled_auto`) pin the
+        // runtime behavior, this pins that validation agrees.
+        let c = CscConfig::default().with_snapshot_every(0);
+        assert!(c.validate().is_ok());
+        assert!(CscConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_rebuild_thresholds() {
+        let c = CscConfig::default()
+            .with_rebuild_policy(RebuildPolicy::default().with_growth_percent(100));
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("max_growth_percent"), "{err}");
+        let c = CscConfig::default()
+            .with_rebuild_policy(RebuildPolicy::default().with_dead_percent(150));
+        assert!(c.validate().is_err());
+        // Disabled thresholds stay valid.
+        let c = CscConfig::default().with_rebuild_policy(RebuildPolicy::manual_only());
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub enum CscError {
     Poisoned,
     /// A serialization problem.
     Serial(String),
+    /// A degenerate configuration rejected by
+    /// [`CscConfig::validate`](crate::CscConfig::validate).
+    Config(String),
 }
 
 impl fmt::Display for CscError {
@@ -28,6 +31,7 @@ impl fmt::Display for CscError {
                 "index is poisoned by an earlier failed update; rebuild it"
             ),
             CscError::Serial(msg) => write!(f, "serialization error: {msg}"),
+            CscError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }

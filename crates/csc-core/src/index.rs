@@ -3,6 +3,7 @@
 use crate::build::{build_labels, CoupleBfs, TraversalCounters};
 use crate::config::CscConfig;
 use crate::error::CscError;
+use crate::health::{HealthBaseline, IndexHealth};
 use crate::invert::InvertedIndex;
 use crate::stats::IndexStats;
 use csc_graph::bipartite::{in_vertex, out_vertex, BipartiteGraph};
@@ -34,6 +35,7 @@ pub struct CscIndex {
     pub(crate) inverted: Option<InvertedIndex>,
     pub(crate) config: CscConfig,
     pub(crate) stats: IndexStats,
+    pub(crate) baseline: HealthBaseline,
     pub(crate) poisoned: bool,
     pub(crate) workspace: CoupleBfs,
 }
@@ -47,6 +49,7 @@ impl Clone for CscIndex {
             inverted: self.inverted.clone(),
             config: self.config,
             stats: self.stats.clone(),
+            baseline: self.baseline,
             poisoned: self.poisoned,
             workspace: CoupleBfs::new(self.gb.graph().vertex_count()),
         }
@@ -69,9 +72,11 @@ impl CscIndex {
     ///
     /// # Errors
     ///
-    /// Fails if the bipartite graph exceeds the 23-bit hub capacity or any
+    /// Fails if `config` is degenerate (see [`CscConfig::validate`]), if
+    /// the bipartite graph exceeds the 23-bit hub capacity, or if any
     /// label distance exceeds 17 bits (see `csc-labeling::entry`).
     pub fn build(g: &DiGraph, config: CscConfig) -> Result<Self, CscError> {
+        config.validate()?;
         let start = Instant::now();
         let gb = BipartiteGraph::from_graph(g);
         let ranks = RankTable::build(g, config.order).bipartite_order();
@@ -93,6 +98,13 @@ impl CscIndex {
             },
             ..Default::default()
         };
+        let baseline = HealthBaseline {
+            entries: labels.total_entries(),
+            in_entries: labels.side_entries(LabelSide::In),
+            out_entries: labels.side_entries(LabelSide::Out),
+            vertices: gb.original_vertex_count(),
+            rejuvenations: 0,
+        };
         Ok(CscIndex {
             gb,
             ranks,
@@ -100,6 +112,7 @@ impl CscIndex {
             inverted,
             config,
             stats,
+            baseline,
             poisoned: false,
             workspace: CoupleBfs::new(n),
         })
@@ -218,6 +231,52 @@ impl CscIndex {
     /// Cumulative statistics.
     pub fn stats(&self) -> &IndexStats {
         &self.stats
+    }
+
+    /// The drift baseline captured at build / load / rejuvenation time.
+    pub fn baseline(&self) -> &HealthBaseline {
+        &self.baseline
+    }
+
+    /// The current drift report against the baseline.
+    ///
+    /// The live store has no frozen arena, so
+    /// [`dead_fraction`](IndexHealth::dead_fraction) is always `0.0` here;
+    /// [`SnapshotIndex::health`](crate::SnapshotIndex::health) reports the
+    /// served arena's real value, and
+    /// [`ConcurrentIndex::health`](crate::ConcurrentIndex::health)
+    /// combines both with the maintenance-plane state.
+    pub fn health(&self) -> IndexHealth {
+        let total = self.labels.total_entries();
+        IndexHealth {
+            total_entries: total,
+            in_entries: self.labels.side_entries(LabelSide::In),
+            out_entries: self.labels.side_entries(LabelSide::Out),
+            baseline_entries: self.baseline.entries,
+            baseline_in_entries: self.baseline.in_entries,
+            baseline_out_entries: self.baseline.out_entries,
+            growth_percent: IndexHealth::growth(total, self.baseline.entries),
+            dead_fraction: 0.0,
+            churned_vertices: self
+                .original_vertex_count()
+                .saturating_sub(self.baseline.vertices),
+            rejuvenations: self.baseline.rejuvenations,
+            replay_queued: 0,
+            rebuilding: false,
+        }
+    }
+
+    /// Re-anchors the drift baseline at the current state (the epilogue of
+    /// a rejuvenation swap, and the load path's way of restoring a
+    /// persisted baseline).
+    pub(crate) fn rebaseline(&mut self, rejuvenations: u32) {
+        self.baseline = HealthBaseline {
+            entries: self.labels.total_entries(),
+            in_entries: self.labels.side_entries(LabelSide::In),
+            out_entries: self.labels.side_entries(LabelSide::Out),
+            vertices: self.original_vertex_count(),
+            rejuvenations,
+        };
     }
 
     /// Total label entries (Figure 9(b)'s index size is `8 *` this).
@@ -373,6 +432,40 @@ mod tests {
         assert_eq!(idx.gb, fresh.gb);
         assert_eq!(idx.inverted, fresh.inverted);
         assert_eq!(idx.query(nv), None);
+    }
+
+    #[test]
+    fn health_tracks_drift_from_build_baseline() {
+        let g = gnm(24, 70, 4);
+        let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let h = idx.health();
+        assert_eq!(h.growth_percent, 100, "fresh build sits at baseline");
+        assert_eq!(h.total_entries, idx.total_entries());
+        assert_eq!(h.in_entries + h.out_entries, h.total_entries);
+        assert_eq!(
+            (h.churned_vertices, h.rejuvenations, h.dead_fraction),
+            (0, 0, 0.0)
+        );
+        assert!(!h.rebuilding);
+
+        let nv = idx.add_vertex();
+        idx.insert_edge(VertexId(0), nv).unwrap();
+        idx.insert_edge(nv, VertexId(1)).unwrap();
+        let h = idx.health();
+        assert_eq!(h.churned_vertices, 1);
+        assert!(h.total_entries > h.baseline_entries);
+        assert!(h.growth_percent > 100);
+        assert_eq!(h.baseline_entries, idx.baseline().entries);
+    }
+
+    #[test]
+    fn build_rejects_invalid_config() {
+        let bad = CscConfig::default()
+            .with_rebuild_policy(crate::health::RebuildPolicy::default().with_growth_percent(50));
+        assert!(matches!(
+            CscIndex::build(&directed_cycle(3), bad),
+            Err(crate::CscError::Config(_))
+        ));
     }
 
     #[test]

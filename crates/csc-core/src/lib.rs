@@ -46,9 +46,11 @@ pub mod concurrent;
 pub mod config;
 mod delete;
 pub mod error;
+pub mod health;
 mod index;
 mod insert;
 mod invert;
+pub mod maintain;
 pub mod reduction;
 mod repair;
 pub mod serial;
@@ -60,7 +62,9 @@ pub use batch::{BatchReport, GraphUpdate};
 pub use concurrent::ConcurrentIndex;
 pub use config::{CscConfig, UpdateStrategy};
 pub use error::CscError;
+pub use health::{HealthBaseline, IndexHealth, RebuildPolicy, RebuildReason};
 pub use index::CscIndex;
+pub use maintain::{MaintenanceEngine, MaintenanceStats, MaintenanceStatus, RejuvenationReport};
 pub use snapshot::SnapshotIndex;
 pub use stats::{IndexStats, SnapshotStats, UpdateReport};
 

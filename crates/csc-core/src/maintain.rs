@@ -1,0 +1,733 @@
+//! The maintenance plane: one state machine over every write path.
+//!
+//! Before this module, the write side of the system was four ad-hoc
+//! paths — single-op insert/delete, [`apply_batch`](CscIndex::apply_batch),
+//! the snapshot refreeze/compaction policy, and (missing entirely) a full
+//! rebuild. [`MaintenanceEngine`] unifies them behind a three-state
+//! machine:
+//!
+//! ```text
+//!            writes apply directly, snapshots refreeze incrementally
+//!           ┌───────────┐
+//!           │  Serving  │◄───────────────────────────────┐
+//!           └─────┬─────┘                                │
+//!   policy trips  │ begin_rejuvenation                   │ replay queue
+//!   or manual     ▼                                      │ drained: swap
+//!         ┌──────────────┐  labels complete     ┌────────┴───────┐
+//!         │  Rebuilding  ├─────────────────────►│   Replaying    │
+//!         └──────────────┘  (fresh ranks over   └────────────────┘
+//!           writes queue      the live graph,     writes still queue,
+//!           (write-ahead),    chunked BFS)        queue drains in
+//!           readers serve                         batches onto the
+//!           the old state                         rejuvenated index
+//! ```
+//!
+//! **Rejuvenation** exists because dynamic maintenance preserves
+//! correctness, not quality: added vertices always rank at the bottom,
+//! deletions leave redundant entries, and label size only ratchets up. A
+//! long-lived index drifts away from the fresh-build one — rejuvenation
+//! rebuilds labels over the *current* graph under a *freshly computed*
+//! ordering, cooperatively (a bounded number of hub ranks per
+//! [`step`](MaintenanceEngine::step)), while:
+//!
+//! * readers keep whatever [`SnapshotIndex`] they hold — nothing here
+//!   ever blocks them;
+//! * incoming writes are accepted optimistically into a write-ahead
+//!   **replay queue** (their validity is resolved at replay with the
+//!   skip-invalid semantics of [`apply_batch`](CscIndex::apply_batch));
+//! * on completion the queue is replayed onto the new index, the engine
+//!   swaps it in, and the next publication is forced to be a **full
+//!   freeze** — an incremental refreeze against a snapshot of the old
+//!   label store would be unsound, and the state machine is what makes
+//!   that invariant enforceable in one place.
+//!
+//! [`ConcurrentIndex`](crate::ConcurrentIndex) is a thin facade over this
+//! engine: it adds the lock layout and the publication slot, nothing else.
+
+use crate::batch::{BatchReport, GraphUpdate};
+use crate::build::{CoupleBfs, LabelBuildTask};
+use crate::error::CscError;
+use crate::health::{HealthBaseline, IndexHealth, RebuildPolicy, RebuildReason};
+use crate::index::CscIndex;
+use crate::invert::InvertedIndex;
+use crate::snapshot::SnapshotIndex;
+use crate::stats::UpdateReport;
+use csc_graph::{Csr, RankTable, VertexId};
+use csc_labeling::BuildStats;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Replay drains at most this many queued updates per
+/// [`step`](MaintenanceEngine::step), so one step stays bounded even
+/// after a long rebuild accumulated a deep queue.
+pub const REPLAY_CHUNK: usize = 256;
+
+/// Default hub-rank budget per cooperative step (what the
+/// [`ConcurrentIndex`](crate::ConcurrentIndex) facade advances per write
+/// while a rebuild is in flight).
+pub const DEFAULT_STEP_RANKS: usize = 64;
+
+/// Where the engine's state machine currently is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaintenanceStatus {
+    /// No rebuild in flight; writes apply directly.
+    Serving,
+    /// Label construction over the rebuild-start graph is in progress.
+    Rebuilding {
+        /// Hub ranks processed so far.
+        ranks_done: usize,
+        /// Hub ranks total (2 × vertices at rebuild start).
+        ranks_total: usize,
+        /// Updates waiting in the write-ahead replay queue.
+        queued: usize,
+    },
+    /// Labels are built and swapped in; the replay queue is draining.
+    Replaying {
+        /// Updates still waiting in the replay queue.
+        queued: usize,
+    },
+}
+
+/// Counters for the engine's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Rejuvenations started (manual or policy-triggered).
+    pub rejuvenations_started: u32,
+    /// Rejuvenations that completed and swapped.
+    pub rejuvenations_completed: u32,
+    /// Rejuvenations abandoned on a build error (the previous index kept
+    /// serving and the queue was replayed onto it).
+    pub rejuvenations_failed: u32,
+    /// Updates drained from the replay queue onto a rejuvenated index.
+    pub updates_replayed: usize,
+    /// Cooperative steps taken across all rebuilds.
+    pub rebuild_steps: usize,
+    /// Why the most recent rejuvenation started.
+    pub last_reason: Option<RebuildReason>,
+}
+
+/// What one completed rejuvenation did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RejuvenationReport {
+    /// Why it ran.
+    pub reason: RebuildReason,
+    /// Label entries before the rebuild began.
+    pub entries_before: usize,
+    /// Label entries after the swap and replay.
+    pub entries_after: usize,
+    /// Updates replayed from the write-ahead queue.
+    pub replayed: usize,
+    /// Wall-clock time from this driving call to completion.
+    pub duration: std::time::Duration,
+}
+
+/// An in-flight rebuild: fresh ranks and an adjacency snapshot captured at
+/// rebuild start (the live graph cannot change underneath — writes queue).
+struct RebuildTask {
+    reason: RebuildReason,
+    ranks: RankTable,
+    csr: Csr,
+    build: LabelBuildTask,
+    labels_done: bool,
+}
+
+/// The policy-driven write plane: owns the live [`CscIndex`], decides when
+/// it has drifted far enough to rejuvenate, and runs the rebuild/replay
+/// state machine described in the [module docs](self).
+///
+/// Single-threaded by design — concurrency (locks, snapshot publication)
+/// is [`ConcurrentIndex`](crate::ConcurrentIndex)'s job. Standalone use:
+///
+/// ```
+/// use csc_core::{CscConfig, CscIndex, MaintenanceEngine, RebuildReason};
+/// use csc_graph::{DiGraph, VertexId};
+///
+/// let g = DiGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 0)]);
+/// let mut engine =
+///     MaintenanceEngine::new(CscIndex::build(&g, CscConfig::default()).unwrap());
+///
+/// // Writes go through the engine; while serving they apply directly.
+/// engine.insert_edge(VertexId(0), VertexId(3)).unwrap();
+/// engine.insert_edge(VertexId(3), VertexId(0)).unwrap();
+///
+/// // Rejuvenate: rebuild with a freshly computed ordering, replay, swap.
+/// let report = engine.rejuvenate(RebuildReason::Manual).unwrap();
+/// assert_eq!(report.reason, RebuildReason::Manual);
+/// assert_eq!(engine.index().query(VertexId(3)).unwrap().length, 2);
+/// assert_eq!(engine.health().rejuvenations, 1);
+/// ```
+pub struct MaintenanceEngine {
+    index: CscIndex,
+    rebuild: Option<RebuildTask>,
+    replay: VecDeque<GraphUpdate>,
+    /// `AddVertex` ops currently queued — the offset for virtual ids
+    /// handed out by [`add_vertex`](Self::add_vertex) mid-rebuild.
+    queued_vertices: usize,
+    /// Set at every swap: the next publication must be a full freeze (the
+    /// previous published snapshot addresses the *old* label store).
+    full_freeze_pending: bool,
+    stats: MaintenanceStats,
+}
+
+impl MaintenanceEngine {
+    /// Wraps an index. The engine assumes ownership of the write plane;
+    /// mutate only through it.
+    pub fn new(index: CscIndex) -> Self {
+        MaintenanceEngine {
+            index,
+            rebuild: None,
+            replay: VecDeque::new(),
+            queued_vertices: 0,
+            full_freeze_pending: false,
+            stats: MaintenanceStats::default(),
+        }
+    }
+
+    /// The live index (reads are always valid; during a rebuild window it
+    /// lags by the queued updates).
+    pub fn index(&self) -> &CscIndex {
+        &self.index
+    }
+
+    /// The rebuild policy (captured in the index configuration).
+    pub fn policy(&self) -> &RebuildPolicy {
+        &self.index.config().rebuild
+    }
+
+    /// Engine lifetime counters.
+    pub fn maintenance_stats(&self) -> &MaintenanceStats {
+        &self.stats
+    }
+
+    /// `true` while a rebuild or replay is in flight.
+    pub fn is_rebuilding(&self) -> bool {
+        self.rebuild.is_some()
+    }
+
+    /// Where the state machine currently is.
+    pub fn status(&self) -> MaintenanceStatus {
+        match &self.rebuild {
+            None => MaintenanceStatus::Serving,
+            Some(task) if !task.labels_done => MaintenanceStatus::Rebuilding {
+                ranks_done: task.build.ranks_done() as usize,
+                ranks_total: task.ranks.len(),
+                queued: self.replay.len(),
+            },
+            Some(_) => MaintenanceStatus::Replaying {
+                queued: self.replay.len(),
+            },
+        }
+    }
+
+    /// The live drift report, with the maintenance-plane fields (replay
+    /// queue depth, rebuild flag) filled in.
+    pub fn health(&self) -> IndexHealth {
+        IndexHealth {
+            replay_queued: self.replay.len(),
+            rebuilding: self.is_rebuilding(),
+            ..self.index.health()
+        }
+    }
+
+    /// Inserts an edge. While serving it applies immediately and returns
+    /// `Ok(Some(report))`; during a rebuild window it is queued
+    /// (write-ahead) and returns `Ok(None)` — validity is then resolved at
+    /// replay with the skip-invalid semantics of
+    /// [`apply_batch`](CscIndex::apply_batch).
+    pub fn insert_edge(
+        &mut self,
+        a: VertexId,
+        b: VertexId,
+    ) -> Result<Option<UpdateReport>, CscError> {
+        if self.is_rebuilding() {
+            self.enqueue(GraphUpdate::InsertEdge(a, b));
+            return Ok(None);
+        }
+        self.index.insert_edge(a, b).map(Some)
+    }
+
+    /// Removes an edge; same serving/queued split as
+    /// [`insert_edge`](Self::insert_edge).
+    pub fn remove_edge(
+        &mut self,
+        a: VertexId,
+        b: VertexId,
+    ) -> Result<Option<UpdateReport>, CscError> {
+        if self.is_rebuilding() {
+            self.enqueue(GraphUpdate::RemoveEdge(a, b));
+            return Ok(None);
+        }
+        self.index.remove_edge(a, b).map(Some)
+    }
+
+    /// Appends a fresh vertex and returns its id. During a rebuild window
+    /// the op is queued and the returned id is *virtual* — it is the id
+    /// the replay will create (current count plus queued `AddVertex`
+    /// ops), so later queued edge ops may reference it.
+    pub fn add_vertex(&mut self) -> VertexId {
+        if self.is_rebuilding() {
+            let v = VertexId((self.index.original_vertex_count() + self.queued_vertices) as u32);
+            self.enqueue(GraphUpdate::AddVertex);
+            return v;
+        }
+        self.index.add_vertex()
+    }
+
+    /// Applies a whole update window. While serving this is
+    /// [`CscIndex::apply_batch`]; during a rebuild the window is queued
+    /// and the returned report only carries
+    /// [`updates_submitted`](BatchReport::updates_submitted) and
+    /// [`queued`](BatchReport::queued).
+    pub fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Result<BatchReport, CscError> {
+        if self.is_rebuilding() {
+            for &u in updates {
+                self.enqueue(u);
+            }
+            return Ok(BatchReport {
+                updates_submitted: updates.len(),
+                queued: updates.len(),
+                ..Default::default()
+            });
+        }
+        self.index.apply_batch(updates)
+    }
+
+    fn enqueue(&mut self, update: GraphUpdate) {
+        if update == GraphUpdate::AddVertex {
+            self.queued_vertices += 1;
+        }
+        self.replay.push_back(update);
+    }
+
+    /// Starts a rejuvenation: captures fresh ranks (recomputed from the
+    /// *current* graph under the configured ordering strategy, so churn
+    /// vertices get re-ranked on merit) and an adjacency snapshot, and
+    /// flips the machine to `Rebuilding`. Idempotent while one is already
+    /// in flight. Drive it with [`step`](Self::step) or
+    /// [`rejuvenate`](Self::rejuvenate).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a poisoned index, or if the graph exceeds labeling
+    /// capacity.
+    pub fn begin_rejuvenation(&mut self, reason: RebuildReason) -> Result<(), CscError> {
+        self.index.check_ready()?;
+        if self.is_rebuilding() {
+            return Ok(());
+        }
+        let original = self.index.original_graph();
+        let ranks = RankTable::build(&original, self.index.config().order).bipartite_order();
+        let csr = Csr::from_digraph(self.index.bipartite().graph());
+        let build = LabelBuildTask::new(csr.vertex_count())?;
+        self.rebuild = Some(RebuildTask {
+            reason,
+            ranks,
+            csr,
+            build,
+            labels_done: false,
+        });
+        self.stats.rejuvenations_started += 1;
+        self.stats.last_reason = Some(reason);
+        Ok(())
+    }
+
+    /// Checks the policy thresholds and starts a rejuvenation if one
+    /// trips (regardless of [`RebuildPolicy::auto`] — the *caller* decides
+    /// whether measurement implies action). Returns the tripped reason.
+    ///
+    /// The engine's own [`health`](Self::health) always reports a dead
+    /// fraction of `0.0` (the live nested store has no arena), so the
+    /// caller that owns the served snapshot passes its real
+    /// `dead_fraction` here — otherwise the
+    /// [`RebuildPolicy::max_dead_percent`] threshold could never fire
+    /// automatically.
+    pub fn maybe_begin(
+        &mut self,
+        arena_dead_fraction: f64,
+    ) -> Result<Option<RebuildReason>, CscError> {
+        if self.is_rebuilding() {
+            return Ok(None);
+        }
+        let health = IndexHealth {
+            dead_fraction: arena_dead_fraction,
+            ..self.health()
+        };
+        match health.triggered(self.policy()) {
+            Some(reason) => {
+                self.begin_rejuvenation(reason)?;
+                Ok(Some(reason))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Advances an in-flight rejuvenation by a bounded amount of work: up
+    /// to `rank_budget` hub ranks of label construction, or (once labels
+    /// are complete and swapped) up to [`REPLAY_CHUNK`] queued updates of
+    /// replay. Returns the state after the step; `Serving` means the
+    /// rejuvenation finished. A no-op returning `Serving` when nothing is
+    /// in flight.
+    ///
+    /// # Errors
+    ///
+    /// A label-capacity overflow during the rebuild abandons it: the
+    /// previous index keeps serving, the queue is replayed onto it, and
+    /// the error is returned ([`MaintenanceStats::rejuvenations_failed`]
+    /// counts it). An overflow during *replay* poisons the index exactly
+    /// like a failed [`apply_batch`](CscIndex::apply_batch).
+    pub fn step(&mut self, rank_budget: usize) -> Result<MaintenanceStatus, CscError> {
+        let Some(task) = self.rebuild.as_mut() else {
+            return Ok(MaintenanceStatus::Serving);
+        };
+        self.stats.rebuild_steps += 1;
+        if !task.labels_done {
+            match task.build.advance(&task.csr, &task.ranks, rank_budget) {
+                Ok(true) => {
+                    task.labels_done = true;
+                    self.swap_rebuilt();
+                }
+                Ok(false) => {}
+                Err(e) => {
+                    // Abandon: the old index is untouched and fully valid.
+                    self.rebuild = None;
+                    self.stats.rejuvenations_failed += 1;
+                    self.drain_replay_onto_current()?;
+                    return Err(e.into());
+                }
+            }
+        } else {
+            self.replay_chunk()?;
+        }
+        Ok(self.status())
+    }
+
+    /// Runs an in-flight (or, with `reason`, a fresh) rejuvenation to
+    /// completion and reports what it did. This is the synchronous driver;
+    /// cooperative callers use [`begin_rejuvenation`](Self::begin_rejuvenation)
+    /// + [`step`](Self::step) instead.
+    pub fn rejuvenate(&mut self, reason: RebuildReason) -> Result<RejuvenationReport, CscError> {
+        let started = Instant::now();
+        let entries_before = self.index.total_entries();
+        let replayed_before = self.stats.updates_replayed;
+        self.begin_rejuvenation(reason)?;
+        let reason = self.rebuild.as_ref().map(|t| t.reason).unwrap_or(reason);
+        while self.step(usize::MAX)? != MaintenanceStatus::Serving {}
+        Ok(RejuvenationReport {
+            reason,
+            entries_before,
+            entries_after: self.index.total_entries(),
+            replayed: self.stats.updates_replayed - replayed_before,
+            duration: started.elapsed(),
+        })
+    }
+
+    /// Labels finished: assemble the rejuvenated index and swap it in.
+    /// The cumulative update statistics carry over (snapshot ordering via
+    /// `updates_applied` must stay monotone); the build statistics and the
+    /// drift baseline are re-anchored.
+    fn swap_rebuilt(&mut self) {
+        let task = self.rebuild.as_mut().expect("called with a task in flight");
+        let build = std::mem::replace(
+            &mut task.build,
+            LabelBuildTask::new(0).expect("empty task is always in capacity"),
+        );
+        let (labels, counters) = build.finish();
+        let config = *self.index.config();
+        let inverted = config
+            .maintain_inverted
+            .then(|| InvertedIndex::from_labels(&labels));
+        let n = self.index.bipartite().graph().vertex_count();
+        let mut stats = self.index.stats.clone();
+        stats.build = BuildStats {
+            canonical: counters.canonical,
+            non_canonical: counters.non_canonical,
+            pruned: counters.pruned,
+            dequeues: counters.dequeues,
+            saturated_counts: counters.saturated,
+            build_time: stats.build.build_time,
+        };
+        let rejuvenations = self.index.baseline.rejuvenations + 1;
+        let mut fresh = CscIndex {
+            gb: self.index.gb.clone(),
+            ranks: std::mem::replace(&mut task.ranks, RankTable::from_order(&[])),
+            labels,
+            inverted,
+            config,
+            stats,
+            baseline: HealthBaseline {
+                entries: 0,
+                in_entries: 0,
+                out_entries: 0,
+                vertices: 0,
+                rejuvenations: 0,
+            },
+            poisoned: false,
+            workspace: CoupleBfs::new(n),
+        };
+        fresh.rebaseline(rejuvenations);
+        // The baseline is the post-rebuild state; replayed updates then
+        // count as ordinary drift on top of it.
+        self.index = fresh;
+        self.full_freeze_pending = true;
+        self.stats.rejuvenations_completed += 1;
+    }
+
+    /// Drains up to [`REPLAY_CHUNK`] updates onto the (rejuvenated) index;
+    /// finishing the queue returns the machine to `Serving`.
+    fn replay_chunk(&mut self) -> Result<(), CscError> {
+        let take = self.replay.len().min(REPLAY_CHUNK);
+        let window: Vec<GraphUpdate> = self.replay.drain(..take).collect();
+        self.queued_vertices -= window
+            .iter()
+            .filter(|u| **u == GraphUpdate::AddVertex)
+            .count();
+        if !window.is_empty() {
+            self.index.apply_batch(&window)?;
+            self.stats.updates_replayed += window.len();
+        }
+        if self.replay.is_empty() {
+            self.rebuild = None;
+        }
+        Ok(())
+    }
+
+    /// Abandon path: replay whatever queued onto the *current* index so no
+    /// accepted write is lost. (Same accounting as [`replay_chunk`] — the
+    /// trailing `rebuild = None` in it is a no-op here, the abandon paths
+    /// already cleared the task.)
+    ///
+    /// [`replay_chunk`]: Self::replay_chunk
+    fn drain_replay_onto_current(&mut self) -> Result<(), CscError> {
+        while !self.replay.is_empty() {
+            self.replay_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Produces the next snapshot to publish, routing through the state
+    /// machine's freeze policy: incremental
+    /// ([`SnapshotIndex::refreeze_from`]) against `prev` in the steady
+    /// state, a full couple-ordered freeze right after a rejuvenation swap
+    /// (when `prev` addresses the retired label store) or when no previous
+    /// snapshot exists.
+    pub fn publish_from(&mut self, prev: Option<&SnapshotIndex>) -> SnapshotIndex {
+        let dirty = self.index.labels.take_dirty();
+        match prev {
+            Some(p) if !self.full_freeze_pending => {
+                SnapshotIndex::refreeze_from(p, &self.index, &dirty)
+            }
+            _ => {
+                self.full_freeze_pending = false;
+                self.index.freeze()
+            }
+        }
+    }
+
+    /// Unwraps back into the plain index. An in-flight rebuild is
+    /// abandoned (never half-applied): the current index is kept and the
+    /// write-ahead queue is replayed onto it, so no accepted write is
+    /// lost. If that replay overflows label capacity the returned index is
+    /// poisoned, exactly as a failed `apply_batch` would leave it.
+    pub fn into_index(mut self) -> CscIndex {
+        if self.is_rebuilding() {
+            self.rebuild = None;
+            self.stats.rejuvenations_failed += 1;
+            let _ = self.drain_replay_onto_current();
+        }
+        self.index
+    }
+}
+
+impl From<CscIndex> for MaintenanceEngine {
+    fn from(index: CscIndex) -> Self {
+        MaintenanceEngine::new(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CscConfig;
+    use crate::verify::verify_index;
+    use csc_graph::generators::{directed_cycle, gnm};
+    use csc_graph::traversal::shortest_cycle_oracle;
+    use csc_graph::DiGraph;
+
+    fn assert_matches_fresh(engine: &MaintenanceEngine, context: &str) {
+        let g = engine.index().original_graph();
+        let fresh = CscIndex::build(&g, *engine.index().config()).unwrap();
+        for v in g.vertices() {
+            assert_eq!(
+                engine.index().query(v),
+                fresh.query(v),
+                "{context}: SCCnt({v})"
+            );
+            assert_eq!(
+                engine.index().query(v).map(|c| (c.length, c.count)),
+                shortest_cycle_oracle(&g, v),
+                "{context}: oracle SCCnt({v})"
+            );
+        }
+    }
+
+    #[test]
+    fn serving_writes_pass_through() {
+        let g = directed_cycle(5);
+        let mut engine = MaintenanceEngine::new(CscIndex::build(&g, CscConfig::default()).unwrap());
+        assert_eq!(engine.status(), MaintenanceStatus::Serving);
+        let report = engine.insert_edge(VertexId(2), VertexId(0)).unwrap();
+        assert!(report.is_some(), "serving writes apply immediately");
+        assert!(
+            engine.insert_edge(VertexId(2), VertexId(0)).is_err(),
+            "duplicate rejected while serving"
+        );
+        assert_eq!(engine.index().query(VertexId(0)).unwrap().length, 3);
+    }
+
+    #[test]
+    fn manual_rejuvenation_restores_fresh_build_labels() {
+        // Drift: grow the graph through churn vertices (bottom-ranked) and
+        // edge flapping, then rejuvenate and compare against a fresh build
+        // on the same final graph — labels and ranks must match exactly.
+        let g = gnm(20, 55, 7);
+        let mut engine = MaintenanceEngine::new(CscIndex::build(&g, CscConfig::default()).unwrap());
+        for k in 0..4u32 {
+            let nv = engine.add_vertex();
+            engine.insert_edge(VertexId(k), nv).unwrap().unwrap();
+            engine.insert_edge(nv, VertexId(k + 5)).unwrap().unwrap();
+        }
+        let victims: Vec<_> = g.edge_vec().into_iter().step_by(9).take(4).collect();
+        for &(a, b) in &victims {
+            engine.remove_edge(VertexId(a), VertexId(b)).unwrap();
+        }
+        let drifted = engine.health();
+        assert_eq!(drifted.churned_vertices, 4);
+
+        let report = engine.rejuvenate(RebuildReason::Manual).unwrap();
+        assert_eq!(report.reason, RebuildReason::Manual);
+        assert_eq!(report.replayed, 0);
+        assert_eq!(engine.status(), MaintenanceStatus::Serving);
+
+        let final_graph = engine.index().original_graph();
+        let fresh = CscIndex::build(&final_graph, CscConfig::default()).unwrap();
+        assert_eq!(engine.index().labels(), fresh.labels());
+        assert_eq!(engine.index().ranks(), fresh.ranks());
+        assert_eq!(report.entries_after, fresh.total_entries());
+        let h = engine.health();
+        assert_eq!(
+            (h.growth_percent, h.churned_vertices, h.rejuvenations),
+            (100, 0, 1)
+        );
+        verify_index(engine.index()).unwrap();
+    }
+
+    #[test]
+    fn writes_queue_during_rebuild_and_replay_applies_them() {
+        let g = gnm(18, 48, 3);
+        let mut engine = MaintenanceEngine::new(CscIndex::build(&g, CscConfig::default()).unwrap());
+        engine.begin_rejuvenation(RebuildReason::Manual).unwrap();
+        let st = engine.step(2).unwrap();
+        assert!(
+            matches!(st, MaintenanceStatus::Rebuilding { ranks_done: 2, .. }),
+            "{st:?}"
+        );
+
+        // Mid-rebuild writes: all queued, including a virtual-id vertex.
+        let nv = engine.add_vertex();
+        assert_eq!(nv, VertexId(18), "virtual id = current n + queued adds");
+        assert_eq!(engine.insert_edge(VertexId(0), nv).unwrap(), None);
+        assert_eq!(engine.insert_edge(nv, VertexId(1)).unwrap(), None);
+        let br = engine
+            .apply_batch(&[GraphUpdate::InsertEdge(VertexId(1), VertexId(0))])
+            .unwrap();
+        assert_eq!((br.queued, br.applied_updates()), (1, 0));
+        assert_eq!(engine.health().replay_queued, 4);
+        assert_eq!(
+            engine.index().original_vertex_count(),
+            18,
+            "live index untouched while queued"
+        );
+
+        while engine.step(16).unwrap() != MaintenanceStatus::Serving {}
+        assert_eq!(engine.index().original_vertex_count(), 19);
+        assert_eq!(engine.maintenance_stats().updates_replayed, 4);
+        assert_eq!(engine.health().replay_queued, 0);
+        assert_matches_fresh(&engine, "after replay");
+        verify_index(engine.index()).unwrap();
+    }
+
+    #[test]
+    fn policy_trip_starts_rebuild_via_maybe_begin() {
+        let g = directed_cycle(6);
+        let config = CscConfig::default().with_rebuild_policy(
+            RebuildPolicy::default()
+                .with_churned_vertices(2)
+                .with_auto(true),
+        );
+        let mut engine = MaintenanceEngine::new(CscIndex::build(&g, config).unwrap());
+        assert_eq!(engine.maybe_begin(0.0).unwrap(), None);
+        engine.add_vertex();
+        assert_eq!(engine.maybe_begin(0.0).unwrap(), None, "below threshold");
+        engine.add_vertex();
+        assert_eq!(engine.maybe_begin(0.0).unwrap(), Some(RebuildReason::Churn));
+        assert!(engine.is_rebuilding());
+        // Idempotent while in flight.
+        assert_eq!(engine.maybe_begin(0.0).unwrap(), None);
+        while engine.step(usize::MAX).unwrap() != MaintenanceStatus::Serving {}
+        assert_eq!(engine.health().churned_vertices, 0, "churn re-ranked away");
+    }
+
+    #[test]
+    fn publish_from_forces_full_freeze_after_swap() {
+        let g = directed_cycle(16);
+        let mut engine = MaintenanceEngine::new(CscIndex::build(&g, CscConfig::default()).unwrap());
+        engine.index.labels.take_dirty();
+        let first = engine.publish_from(None);
+
+        // Steady state: incremental refreeze tracks updates exactly.
+        engine.insert_edge(VertexId(0), VertexId(9)).unwrap();
+        engine.insert_edge(VertexId(9), VertexId(0)).unwrap();
+        let second = engine.publish_from(Some(&first));
+        assert_eq!(second.total_entries(), engine.index().total_entries());
+
+        // Rejuvenate: the old arena is retired, the next publish must not
+        // patch into it.
+        engine.rejuvenate(RebuildReason::Manual).unwrap();
+        let third = engine.publish_from(Some(&second));
+        assert_eq!(third.total_entries(), engine.index().total_entries());
+        assert_eq!(third.labels().dead_entries(), 0, "full freeze, not a patch");
+        for v in 0..16u32 {
+            let v = VertexId(v);
+            assert_eq!(third.query(v), engine.index().query(v), "SCCnt({v})");
+        }
+        // And the publication after that is incremental again.
+        engine.remove_edge(VertexId(0), VertexId(9)).unwrap();
+        let fourth = engine.publish_from(Some(&third));
+        assert_eq!(fourth.total_entries(), engine.index().total_entries());
+    }
+
+    #[test]
+    fn into_index_abandons_rebuild_without_losing_writes() {
+        let g = directed_cycle(7);
+        let mut engine = MaintenanceEngine::new(CscIndex::build(&g, CscConfig::default()).unwrap());
+        engine.begin_rejuvenation(RebuildReason::Manual).unwrap();
+        engine.step(1).unwrap();
+        engine.insert_edge(VertexId(3), VertexId(0)).unwrap();
+        let index = engine.into_index();
+        assert!(!index.is_poisoned());
+        assert_eq!(
+            index.query(VertexId(0)).unwrap().length,
+            4,
+            "queued write replayed onto the abandoned-state index"
+        );
+    }
+
+    #[test]
+    fn empty_graph_rejuvenates() {
+        let g = DiGraph::new(0);
+        let mut engine = MaintenanceEngine::new(CscIndex::build(&g, CscConfig::default()).unwrap());
+        let report = engine.rejuvenate(RebuildReason::Manual).unwrap();
+        assert_eq!(report.entries_after, 0);
+        assert_eq!(engine.status(), MaintenanceStatus::Serving);
+    }
+}

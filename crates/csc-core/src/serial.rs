@@ -9,23 +9,34 @@
 //! Layout (little-endian):
 //!
 //! ```text
-//! magic  "CSCIDX\x02\n"                       8 bytes
-//! n      original vertex count                u32
-//! m      original edge count                  u64
-//! edges  (u32, u32) * m
-//! ranks  vertex_at[rank] for 2n ranks         u32 * 2n
-//! config order tag + seed, strategy, inverted,
-//!        snapshot refresh interval            u8, u64, u8, u8, u32
-//! labels per bipartite vertex: in-len u32, in entries u64*,
-//!        out-len u32, out entries u64*
+//! magic    "CSCIDX\x03\n"                       8 bytes
+//! n        original vertex count                u32
+//! m        original edge count                  u64
+//! edges    (u32, u32) * m
+//! ranks    vertex_at[rank] for 2n ranks         u32 * 2n
+//! config   order tag + seed, strategy, inverted,
+//!          snapshot refresh interval            u8, u64, u8, u8, u32
+//! rebuild  growth %, dead %, churned vertices,
+//!          auto flag                            u32, u32, u32, u8
+//! baseline entries, in entries, out entries,
+//!          vertices, rejuvenations              u64, u64, u64, u32, u32
+//! labels   per bipartite vertex: in-len u32, in entries u64*,
+//!          out-len u32, out entries u64*
 //! ```
 //!
-//! (Format `\x01` predates the snapshot refresh interval; there are no
-//! persisted `\x01` indexes to migrate, so it is simply rejected.)
+//! The rank table is persisted verbatim — after a rejuvenation it is the
+//! *recomputed* order, not a derivable one — and the health baseline
+//! rides along so a reloaded index keeps measuring drift from its last
+//! rebuild, not from the load.
+//!
+//! (Format `\x02` predates the rebuild policy and health baseline,
+//! `\x01` the snapshot refresh interval; there are no persisted older
+//! indexes to migrate, so both are rejected with a version message.)
 
 use crate::build::CoupleBfs;
 use crate::config::{CscConfig, UpdateStrategy};
 use crate::error::CscError;
+use crate::health::{HealthBaseline, RebuildPolicy};
 use crate::index::CscIndex;
 use crate::invert::InvertedIndex;
 use crate::stats::IndexStats;
@@ -34,7 +45,7 @@ use csc_graph::bipartite::BipartiteGraph;
 use csc_graph::{DiGraph, OrderingStrategy, RankTable, VertexId};
 use csc_labeling::{LabelEntry, LabelSide, Labels};
 
-const MAGIC: &[u8; 8] = b"CSCIDX\x02\n";
+const MAGIC: &[u8; 8] = b"CSCIDX\x03\n";
 
 fn order_tag(o: OrderingStrategy) -> (u8, u64) {
     match o {
@@ -90,6 +101,18 @@ impl CscIndex {
             u32::try_from(self.config.snapshot_every)
                 .map_err(|_| CscError::Serial("snapshot_every exceeds u32".into()))?,
         );
+        buf.put_u32_le(self.config.rebuild.max_growth_percent);
+        buf.put_u32_le(self.config.rebuild.max_dead_percent);
+        buf.put_u32_le(self.config.rebuild.max_churned_vertices);
+        buf.put_u8(self.config.rebuild.auto as u8);
+        buf.put_u64_le(self.baseline.entries as u64);
+        buf.put_u64_le(self.baseline.in_entries as u64);
+        buf.put_u64_le(self.baseline.out_entries as u64);
+        buf.put_u32_le(
+            u32::try_from(self.baseline.vertices)
+                .map_err(|_| CscError::Serial("baseline vertex count exceeds u32".into()))?,
+        );
+        buf.put_u32_le(self.baseline.rejuvenations);
         for v in 0..two_n as u32 {
             let v = VertexId(v);
             for side in [LabelSide::In, LabelSide::Out] {
@@ -120,6 +143,12 @@ impl CscIndex {
         let mut magic = [0u8; 8];
         buf.copy_to_slice(&mut magic);
         if &magic != MAGIC {
+            if magic[..6] == MAGIC[..6] {
+                return Err(CscError::Serial(format!(
+                    "unsupported CSC index format version {} (this build reads {})",
+                    magic[6], MAGIC[6]
+                )));
+            }
             return Err(CscError::Serial("bad magic (not a CSC index)".into()));
         }
         need(buf, 12, "header")?;
@@ -149,11 +178,28 @@ impl CscIndex {
         };
         let maintain_inverted = buf.get_u8() != 0;
         let snapshot_every = buf.get_u32_le() as usize;
+        need(buf, 13, "rebuild policy")?;
+        let rebuild = RebuildPolicy {
+            max_growth_percent: buf.get_u32_le(),
+            max_dead_percent: buf.get_u32_le(),
+            max_churned_vertices: buf.get_u32_le(),
+            auto: buf.get_u8() != 0,
+        };
         let config = CscConfig {
             order: order_from_tag(tag, seed)?,
             update_strategy: strategy,
             maintain_inverted,
             snapshot_every,
+            rebuild,
+        };
+        config.validate()?;
+        need(buf, 32, "health baseline")?;
+        let baseline = HealthBaseline {
+            entries: buf.get_u64_le() as usize,
+            in_entries: buf.get_u64_le() as usize,
+            out_entries: buf.get_u64_le() as usize,
+            vertices: buf.get_u32_le() as usize,
+            rejuvenations: buf.get_u32_le(),
         };
 
         let mut labels = Labels::new(two_n);
@@ -197,6 +243,7 @@ impl CscIndex {
             inverted,
             config,
             stats: IndexStats::default(),
+            baseline,
             poisoned: false,
             workspace: CoupleBfs::new(two_n),
         })
@@ -244,6 +291,76 @@ mod tests {
         let (u, v) = victims[0];
         back.remove_edge(u, v).unwrap();
         verify_index(&back).unwrap();
+    }
+
+    #[test]
+    fn roundtrip_churned_then_rejuvenated_index() {
+        use crate::health::{RebuildPolicy, RebuildReason};
+        use crate::maintain::MaintenanceEngine;
+
+        let g = gnm(20, 60, 9);
+        let config = CscConfig::default().with_rebuild_policy(
+            RebuildPolicy::default()
+                .with_growth_percent(180)
+                .with_churned_vertices(50)
+                .with_auto(true),
+        );
+        let mut engine = MaintenanceEngine::new(CscIndex::build(&g, config).unwrap());
+        for k in 0..3u32 {
+            let nv = engine.add_vertex();
+            engine.insert_edge(VertexId(k), nv).unwrap().unwrap();
+            engine.insert_edge(nv, VertexId(k + 4)).unwrap().unwrap();
+        }
+        engine.rejuvenate(RebuildReason::Manual).unwrap();
+        // Post-rejuvenation churn, so the persisted baseline differs from
+        // the current state — a real mid-life index.
+        let nv = engine.add_vertex();
+        engine.insert_edge(VertexId(0), nv).unwrap().unwrap();
+        let idx = engine.into_index();
+
+        let bytes = idx.to_bytes().unwrap();
+        let back = CscIndex::from_bytes(&bytes).unwrap();
+        // The recomputed (post-rejuvenation) ranks and the re-anchored
+        // baseline both survive the round trip.
+        assert_eq!(back.ranks(), idx.ranks());
+        assert_eq!(back.baseline(), idx.baseline());
+        assert_eq!(back.baseline().rejuvenations, 1);
+        assert_eq!(back.config(), idx.config());
+        assert_eq!(back.health(), idx.health());
+        assert_eq!(back.labels(), idx.labels());
+        for v in 0..back.original_vertex_count() as u32 {
+            assert_eq!(back.query(VertexId(v)), idx.query(VertexId(v)));
+        }
+        verify_index(&back).unwrap();
+    }
+
+    #[test]
+    fn rejects_old_format_versions() {
+        let idx = CscIndex::build(&figure2(), CscConfig::default()).unwrap();
+        let mut bytes = idx.to_bytes().unwrap().to_vec();
+        bytes[6] = 2; // the PR-2 era format
+        let err = CscIndex::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version 2"), "{err}");
+        bytes[6] = 1;
+        assert!(CscIndex::from_bytes(&bytes)
+            .unwrap_err()
+            .to_string()
+            .contains("version 1"));
+    }
+
+    #[test]
+    fn load_validates_the_configuration() {
+        let idx = CscIndex::build(&figure2(), CscConfig::default()).unwrap();
+        let mut bytes = idx.to_bytes().unwrap().to_vec();
+        // Patch rebuild.max_growth_percent (first field after the 15-byte
+        // config block) to a degenerate 50%.
+        let off =
+            8 + 4 + 8 + idx.original_edge_count() * 8 + 2 * idx.original_vertex_count() * 4 + 15;
+        bytes[off..off + 4].copy_from_slice(&50u32.to_le_bytes());
+        assert!(matches!(
+            CscIndex::from_bytes(&bytes),
+            Err(CscError::Config(_))
+        ));
     }
 
     #[test]

@@ -23,10 +23,11 @@
 //! back to a full couple-ordered freeze once relocation holes exceed
 //! [`MAX_DEAD_FRACTION`] of the arena.
 
+use crate::health::{HealthBaseline, IndexHealth};
 use crate::index::CscIndex;
 use csc_graph::bipartite::{in_vertex, out_vertex};
 use csc_graph::{RankTable, VertexId};
-use csc_labeling::{CycleCount, DistCount, FrozenLabels, LabelStore};
+use csc_labeling::{CycleCount, DistCount, FrozenLabels, LabelSide, LabelStore};
 use rayon::prelude::*;
 
 /// When [`SnapshotIndex::refreeze_from`]'s patched arena carries more dead
@@ -61,6 +62,9 @@ pub struct SnapshotIndex {
     ranks: RankTable,
     original_n: usize,
     updates_applied: u64,
+    /// The source index's drift baseline at freeze time, so the snapshot
+    /// can report its own [`health`](SnapshotIndex::health).
+    baseline: HealthBaseline,
 }
 
 impl SnapshotIndex {
@@ -122,6 +126,7 @@ impl SnapshotIndex {
             ranks: index.ranks().clone(),
             original_n: index.original_vertex_count(),
             updates_applied: (stats.insertions + stats.deletions) as u64,
+            baseline: *index.baseline(),
         }
     }
 
@@ -193,6 +198,29 @@ impl SnapshotIndex {
     /// republications, so readers can order snapshots.
     pub fn updates_applied(&self) -> u64 {
         self.updates_applied
+    }
+
+    /// The snapshot's drift report against the baseline it was frozen
+    /// with: per-side label growth, real arena dead space, and the
+    /// bottom-ranked churn count. The maintenance-plane fields
+    /// (`replay_queued`, `rebuilding`) are always idle here — a snapshot
+    /// is a point in time, not a write plane.
+    pub fn health(&self) -> IndexHealth {
+        let total = self.frozen.total_entries();
+        IndexHealth {
+            total_entries: total,
+            in_entries: self.frozen.side_entries(LabelSide::In),
+            out_entries: self.frozen.side_entries(LabelSide::Out),
+            baseline_entries: self.baseline.entries,
+            baseline_in_entries: self.baseline.in_entries,
+            baseline_out_entries: self.baseline.out_entries,
+            growth_percent: IndexHealth::growth(total, self.baseline.entries),
+            dead_fraction: self.frozen.dead_fraction(),
+            churned_vertices: self.original_n.saturating_sub(self.baseline.vertices),
+            rejuvenations: self.baseline.rejuvenations,
+            replay_queued: 0,
+            rebuilding: false,
+        }
     }
 }
 
@@ -329,6 +357,26 @@ mod tests {
         }
         assert!(saw_dead, "the scenario must exercise relocation");
         assert!(saw_compaction, "dead space must eventually be compacted");
+    }
+
+    #[test]
+    fn snapshot_health_mirrors_index_plus_arena_state() {
+        let g = gnm(24, 80, 11);
+        let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        idx.add_vertex();
+        idx.insert_edge(VertexId(0), VertexId(24)).unwrap();
+        idx.insert_edge(VertexId(24), VertexId(1)).unwrap();
+        let snap = idx.freeze();
+        let (sh, ih) = (snap.health(), idx.health());
+        assert_eq!(sh.total_entries, ih.total_entries);
+        assert_eq!(
+            (sh.in_entries, sh.out_entries),
+            (ih.in_entries, ih.out_entries)
+        );
+        assert_eq!(sh.baseline_entries, ih.baseline_entries);
+        assert_eq!(sh.churned_vertices, 1);
+        assert_eq!(sh.dead_fraction, 0.0, "fresh freeze has no dead space");
+        assert!(!sh.rebuilding && sh.replay_queued == 0);
     }
 
     #[test]

@@ -40,26 +40,41 @@ pub struct RankTable {
 
 impl RankTable {
     /// Computes the order of `g` under `strategy`.
+    ///
+    /// The result depends only on the *current* degrees (plus vertex-id
+    /// tie-breaks), so recomputing it on a long-lived dynamic graph — one
+    /// full of churn holes: appended bottom-ranked vertices, retired
+    /// (fully disconnected) ones — re-derives the order a fresh build of
+    /// the same graph would use. Isolated vertices carry the minimum key
+    /// and sink to the bottom deterministically. The maintenance plane's
+    /// rejuvenation pass relies on exactly this.
     pub fn build(g: &DiGraph, strategy: OrderingStrategy) -> Self {
         let n = g.vertex_count();
-        let mut order: Vec<u32> = (0..n as u32).collect();
         match strategy {
-            OrderingStrategy::Degree => {
-                order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(VertexId(v))), v));
-            }
-            OrderingStrategy::DegreeProduct => {
-                order.sort_by_key(|&v| {
-                    let key = (g.in_degree(VertexId(v)) as u64 + 1)
-                        * (g.out_degree(VertexId(v)) as u64 + 1);
-                    (std::cmp::Reverse(key), v)
-                });
-            }
-            OrderingStrategy::Identity => {}
+            OrderingStrategy::Degree => Self::build_by_key(n, |v| g.degree(v) as u64),
+            OrderingStrategy::DegreeProduct => Self::build_by_key(n, |v| {
+                (g.in_degree(v) as u64 + 1) * (g.out_degree(v) as u64 + 1)
+            }),
+            OrderingStrategy::Identity => Self::from_order_ids((0..n as u32).collect()),
             OrderingStrategy::Random(seed) => {
+                let mut order: Vec<u32> = (0..n as u32).collect();
                 let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
                 order.shuffle(&mut rng);
+                Self::from_order_ids(order)
             }
         }
+    }
+
+    /// Builds a table over `n` vertices from explicit importance keys:
+    /// descending key, ties broken by ascending vertex id (the stable
+    /// tie-break every built-in strategy uses). This is the primitive
+    /// behind [`build`](Self::build)'s degree orders; callers that already
+    /// hold derived degree information (e.g. an original-graph order
+    /// recomputed from a live bipartite view) can rank without
+    /// materializing a graph.
+    pub fn build_by_key(n: usize, mut key: impl FnMut(VertexId) -> u64) -> Self {
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by_key(|&v| (std::cmp::Reverse(key(VertexId(v))), v));
         Self::from_order_ids(order)
     }
 
@@ -218,6 +233,24 @@ mod tests {
             assert_eq!(vo.0, vi.0 + 1, "couples stay adjacent");
             assert!(b.outranks(vi, vo));
         }
+    }
+
+    #[test]
+    fn build_by_key_matches_degree_build_and_sinks_holes() {
+        let g = star();
+        assert_eq!(
+            RankTable::build_by_key(g.vertex_count(), |v| g.degree(v) as u64),
+            RankTable::build(&g, OrderingStrategy::Degree)
+        );
+        // A churned graph: vertex 5 appended then never connected, vertex 1
+        // retired (all edges gone). Both are holes; a recomputed order puts
+        // them at the bottom, id-ascending.
+        let mut g = star();
+        g.add_vertex();
+        g.try_remove_edge(VertexId(0), VertexId(1)).unwrap();
+        let ranks = RankTable::build(&g, OrderingStrategy::Degree);
+        assert_eq!(ranks.vertex_at_rank(4), VertexId(1));
+        assert_eq!(ranks.vertex_at_rank(5), VertexId(5));
     }
 
     #[test]

@@ -68,11 +68,17 @@ pub struct DistCount {
 pub struct Labels {
     in_labels: Vec<Vec<LabelEntry>>,
     out_labels: Vec<Vec<LabelEntry>>,
-    /// Maintained by every mutation so [`Labels::total_entries`] — called
-    /// on each `UpdateReport` — stays O(1) instead of re-summing `2n`
-    /// vectors.
-    entry_count: usize,
+    /// Maintained by every mutation (`[0]` = in side, `[1]` = out side) so
+    /// [`Labels::total_entries`] and the per-side counts feeding
+    /// `IndexHealth` — read on each `UpdateReport` — stay O(1) instead of
+    /// re-summing `2n` vectors.
+    side_count: [usize; 2],
     dirty: DirtySlots,
+}
+
+#[inline]
+fn side_ix(side: LabelSide) -> usize {
+    usize::from(side == LabelSide::Out)
 }
 
 /// The set of label-list slots mutated since the last drain: a stamp
@@ -123,7 +129,7 @@ impl Labels {
         Labels {
             in_labels: vec![Vec::new(); n],
             out_labels: vec![Vec::new(); n],
-            entry_count: 0,
+            side_count: [0, 0],
             dirty: DirtySlots::default(),
         }
     }
@@ -203,7 +209,7 @@ impl Labels {
             "append would break hub-rank order at {v:?}"
         );
         list.push(entry);
-        self.entry_count += 1;
+        self.side_count[side_ix(side)] += 1;
         self.dirty.mark(label_slot(v, side));
     }
 
@@ -221,7 +227,7 @@ impl Labels {
             Ok(pos) => Some(std::mem::replace(&mut list[pos], entry)),
             Err(pos) => {
                 list.insert(pos, entry);
-                self.entry_count += 1;
+                self.side_count[side_ix(side)] += 1;
                 None
             }
         };
@@ -244,7 +250,7 @@ impl Labels {
         match list.binary_search_by_key(&hub_rank, |e| e.hub_rank()) {
             Ok(pos) => {
                 let removed = list.remove(pos);
-                self.entry_count -= 1;
+                self.side_count[side_ix(side)] -= 1;
                 self.dirty.mark(label_slot(v, side));
                 Some(removed)
             }
@@ -270,7 +276,7 @@ impl Labels {
                 true
             }
         });
-        self.entry_count -= removed.len();
+        self.side_count[side_ix(side)] -= removed.len();
         if !removed.is_empty() {
             self.dirty.mark(label_slot(v, side));
         }
@@ -294,17 +300,28 @@ impl Labels {
     /// `UpdateReport` on the update hot path).
     #[inline]
     pub fn total_entries(&self) -> usize {
-        debug_assert_eq!(self.entry_count, self.recount_entries());
-        self.entry_count
+        debug_assert_eq!(
+            [self.side_count[0], self.side_count[1]],
+            self.recount_entries()
+        );
+        self.side_count[0] + self.side_count[1]
     }
 
-    /// Recomputes the entry total from the lists (O(n) ground truth for
-    /// the maintained counter; used by `validate_sorted` and debug
-    /// assertions).
-    fn recount_entries(&self) -> usize {
+    /// Number of stored entries on `side` across all vertices. O(1):
+    /// maintained alongside [`total_entries`](Self::total_entries); feeds
+    /// the per-side drift statistics of `IndexHealth`.
+    #[inline]
+    pub fn side_entries(&self, side: LabelSide) -> usize {
+        self.side_count[side_ix(side)]
+    }
+
+    /// Recomputes the per-side entry totals from the lists (O(n) ground
+    /// truth for the maintained counters; used by `validate_sorted` and
+    /// debug assertions).
+    fn recount_entries(&self) -> [usize; 2] {
         let ins: usize = self.in_labels.iter().map(Vec::len).sum();
         let outs: usize = self.out_labels.iter().map(Vec::len).sum();
-        ins + outs
+        [ins, outs]
     }
 
     /// Index size in bytes under the paper's 64-bit-per-entry encoding.
@@ -334,10 +351,10 @@ impl Labels {
                 return Err(format!("out-labels of vertex {v} are not sorted/unique"));
             }
         }
-        if self.entry_count != self.recount_entries() {
+        if self.side_count != self.recount_entries() {
             return Err(format!(
-                "entry counter {} diverged from stored entries {}",
-                self.entry_count,
+                "entry counters {:?} diverged from stored entries {:?}",
+                self.side_count,
                 self.recount_entries()
             ));
         }
@@ -485,6 +502,29 @@ mod tests {
         assert_eq!(l.total_entries(), 3);
         assert_eq!(l.entry_bytes(), 24);
         assert_eq!(l.max_label_len(), 2);
+    }
+
+    #[test]
+    fn side_entry_counters_track_mutations() {
+        let mut l = Labels::new(2);
+        l.append(v(0), LabelSide::In, e(0, 1, 1));
+        l.append(v(0), LabelSide::In, e(2, 1, 1));
+        l.append(v(1), LabelSide::Out, e(0, 1, 1));
+        assert_eq!(l.side_entries(LabelSide::In), 2);
+        assert_eq!(l.side_entries(LabelSide::Out), 1);
+        l.remove(v(0), LabelSide::In, 2);
+        l.upsert(v(1), LabelSide::Out, e(3, 2, 1));
+        l.upsert(v(1), LabelSide::Out, e(3, 1, 1)); // replace: no growth
+        assert_eq!(l.side_entries(LabelSide::In), 1);
+        assert_eq!(l.side_entries(LabelSide::Out), 2);
+        let drained = l.drain_matching(v(1), LabelSide::Out, |_| true);
+        assert_eq!(drained.len(), 2);
+        assert_eq!(l.side_entries(LabelSide::Out), 0);
+        assert_eq!(
+            l.total_entries(),
+            l.side_entries(LabelSide::In) + l.side_entries(LabelSide::Out)
+        );
+        l.validate_sorted().unwrap();
     }
 
     #[test]

@@ -50,7 +50,8 @@ pub use csc_labeling as labeling;
 pub mod prelude {
     pub use csc_core::{
         BatchReport, ConcurrentIndex, CscConfig, CscError, CscIndex, CycleCount, GraphUpdate,
-        SnapshotIndex, SnapshotStats, UpdateReport, UpdateStrategy,
+        IndexHealth, MaintenanceEngine, MaintenanceStatus, RebuildPolicy, RebuildReason,
+        RejuvenationReport, SnapshotIndex, SnapshotStats, UpdateReport, UpdateStrategy,
     };
     pub use csc_graph::{DiGraph, GraphError, OrderingStrategy, VertexId};
     pub use csc_labeling::{scc_count_bfs, BfsCycleEngine, FrozenLabels, HpSpcIndex, LabelStore};
