@@ -1,0 +1,24 @@
+//! Quick driver for the `deletion_churn` experiment at a given scale (dev
+//! tool and CI smoke): delete-only replay through the windowed decremental
+//! engine at batch sizes 1/8/64 with per-phase attribution and a live
+//! snapshot reader, plus the scalar `remove_edge` yardstick. Appends JSON
+//! lines (the repo records them in `BENCH_delete.json`) when
+//! `CRITERION_JSON` names a file.
+//!
+//! ```text
+//! delete_probe [scale]      # default 0.05
+//! ```
+use csc_bench::experiments::{deletion_churn, ExpContext};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let ctx = ExpContext {
+        scale,
+        quick: scale < 0.1,
+        ..ExpContext::default()
+    };
+    println!("{}", deletion_churn::run(&ctx));
+}

@@ -13,6 +13,7 @@
 //!   throughput     Extension — concurrent read throughput
 //!   stream-replay  Extension — batched update-stream replay
 //!   churn-drift    Extension — churn drift and online rejuvenation
+//!   deletion-churn Extension — windowed deletion repair under churn
 //!   all            Everything above, in order
 //!
 //! Options:
@@ -24,15 +25,16 @@
 //! ```
 
 use csc_bench::experiments::{
-    ablation, case_study, churn_drift, fig10, fig11, fig12, fig9, stream_replay, table4,
-    throughput, ExpContext,
+    ablation, case_study, churn_drift, deletion_churn, fig10, fig11, fig12, fig9, stream_replay,
+    table4, throughput, ExpContext,
 };
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--seed N] [--quick] [--datasets A,B] [--out DIR] \
-         <table4|fig9|fig10|fig11|fig12|case-study|throughput|stream-replay|churn-drift|ablation|all>"
+         <table4|fig9|fig10|fig11|fig12|case-study|throughput|stream-replay|churn-drift|\
+          deletion-churn|ablation|all>"
     );
     std::process::exit(2);
 }
@@ -92,6 +94,7 @@ fn main() -> ExitCode {
             "throughput" => println!("{}", throughput::run(ctx)),
             "stream-replay" | "stream_replay" => println!("{}", stream_replay::run(ctx)),
             "churn-drift" | "churn_drift" => println!("{}", churn_drift::run(ctx)),
+            "deletion-churn" | "deletion_churn" => println!("{}", deletion_churn::run(ctx)),
             "ablation" => println!("{}", ablation::run(ctx)),
             _ => return false,
         }
@@ -109,6 +112,7 @@ fn main() -> ExitCode {
             "throughput",
             "stream-replay",
             "churn-drift",
+            "deletion-churn",
             "ablation",
         ] {
             eprintln!("==> {name}");

@@ -146,6 +146,16 @@ pub struct ReplayStats {
     pub reader_p99_us: f64,
     /// Snapshot queries the reader answered during the replay.
     pub reader_queries: usize,
+    /// Deletion-repair time classifying windows (endpoint sweeps + regime
+    /// assignment), summed across batches.
+    pub classify: Duration,
+    /// Deletion-repair time in merged count-subtraction passes.
+    pub subtract: Duration,
+    /// Deletion-repair time in the re-label regime (superset deletion,
+    /// upsert sweeps, or the rebuild fallback).
+    pub relabel: Duration,
+    /// Windows that took the from-scratch rebuild fallback.
+    pub rebuild_fallbacks: usize,
 }
 
 /// Replays `trace` in `batch_size` windows against a fresh clone of
@@ -188,6 +198,7 @@ pub fn replay(
         let mut batch_times = Vec::with_capacity(trace.len() / batch_size + 1);
         let mut applied = 0usize;
         let mut normalized_away = 0usize;
+        let mut phases = (Duration::ZERO, Duration::ZERO, Duration::ZERO, 0usize);
         let start = Instant::now();
         for window in trace.chunks(batch_size) {
             let updates: Vec<GraphUpdate> = window.iter().map(|op| op.update).collect();
@@ -196,13 +207,17 @@ pub fn replay(
             batch_times.push(t0.elapsed());
             applied += report.applied_updates();
             normalized_away += report.cancelled + report.rejected;
+            phases.0 += report.repair.classify_time;
+            phases.1 += report.repair.subtract_time;
+            phases.2 += report.repair.relabel_time;
+            phases.3 += report.repair.rebuild_fallbacks;
         }
         let total = start.elapsed();
         stop.store(true, Ordering::Relaxed);
         let lat = reader.join().expect("reader thread");
-        ((batch_times, applied, normalized_away, total), lat)
+        ((batch_times, applied, normalized_away, phases, total), lat)
     });
-    let (batch_times, applied, normalized_away, total) = replay_side;
+    let (batch_times, applied, normalized_away, phases, total) = replay_side;
 
     let mut sorted_us: Vec<f64> = reader_lat_us;
     sorted_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -227,6 +242,10 @@ pub fn replay(
         reader_p50_us: pick(0.5),
         reader_p99_us: pick(0.99),
         reader_queries: sorted_us.len(),
+        classify: phases.0,
+        subtract: phases.1,
+        relabel: phases.2,
+        rebuild_fallbacks: phases.3,
     }
 }
 

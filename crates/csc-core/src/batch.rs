@@ -16,10 +16,19 @@
 //!    edges that affect it, in descending rank order. Dense batches share
 //!    most of their affected hubs (high-ranked hubs appear in almost every
 //!    label), so the pass count approaches the hub-union size instead of
-//!    the per-edge sum. Deletions still repair per edge — their cost is
-//!    dominated by the exact distance-condition BFS sweeps, which are
-//!    inherently per-edge.
-//! 3. **One snapshot publication** — a
+//!    the per-edge sum.
+//! 3. **Windowed deletion repair** — all net removals leave the graph
+//!    first, then the window is classified *once* (shared pre/post
+//!    endpoint sweeps through the pooled traversal workspace) and each
+//!    affected hub runs at most one merged subtraction pass and one
+//!    re-label sweep per side for the whole window (see `csc-core::delete`
+//!    — the re-label sweeps dominate deletion cost, so merging them is
+//!    where batched deletions win). The deletion phase never scans label
+//!    lists for carriers: when the index was built `with_inverted(false)`,
+//!    the inverted index is built on demand before the first batched
+//!    deletion and maintained incrementally from then on
+//!    ([`UpdateReport::carriers_scanned`] stays zero on this path).
+//! 4. **One snapshot publication** — a
 //!    [`ConcurrentIndex::apply_batch`](crate::ConcurrentIndex::apply_batch)
 //!    caller republishes at most once per batch, and incrementally (see
 //!    [`FrozenLabels::refreeze_spans`](csc_labeling::FrozenLabels::refreeze_spans)).
@@ -79,6 +88,17 @@ pub struct BatchReport {
     /// sets — each ran at most two (forward/backward) repair passes for
     /// the *whole* batch.
     pub insert_hub_union: usize,
+    /// Distinct (hub, side) repair passes in the deletion phase —
+    /// subtraction passes plus re-label sweeps, each covering the whole
+    /// window. The per-edge engine this replaced ran a multiple of this
+    /// that grew with the window size.
+    pub delete_hub_union: usize,
+    /// Hub caches filled across the batch's repair passes (one per merged
+    /// pass).
+    pub hub_cache_fills: usize,
+    /// Seeds served by an already-filled hub cache: edges whose repair
+    /// merged into an existing pass instead of refilling per edge.
+    pub hub_cache_hits: usize,
     /// Updates accepted into the maintenance plane's write-ahead replay
     /// queue instead of being applied now. Always `0` from
     /// [`CscIndex::apply_batch`] itself; non-zero only when a
@@ -242,16 +262,28 @@ impl CscIndex {
         }
         report.vertices_added = norm.add_vertices;
 
-        // Phase 2: net removals. Deletion repair is per edge: its exact
-        // distance conditions come from endpoint BFS sweeps that cannot be
-        // shared across edges without losing exactness.
-        for &(a, b) in &norm.removals {
-            let (ao, bi) = (out_vertex(a), in_vertex(b));
-            if let Err(e) = self.deccnt(ao, bi, &mut report.repair) {
-                self.poisoned = true;
-                return Err(e.into());
+        // Phase 2: net removals, repaired as one window (classification,
+        // merged subtraction, and one re-label sweep per affected hub for
+        // the whole lot). The hot path must never scan for carriers, so an
+        // index built without the inverted structure gets one on demand
+        // here — a one-time O(entries) build, maintained incrementally by
+        // every write path afterwards.
+        if !norm.removals.is_empty() {
+            if self.inverted.is_none() {
+                self.inverted = Some(crate::invert::InvertedIndex::from_labels(&self.labels));
             }
-            self.stats.deletions += 1;
+            match self.repair_deletions(&norm.removals, &mut report.repair) {
+                Ok(del) => {
+                    report.delete_hub_union = del.hub_union;
+                    report.hub_cache_fills += del.cache_fills;
+                    report.hub_cache_hits += del.cache_hits;
+                }
+                Err(e) => {
+                    self.poisoned = true;
+                    return Err(e.into());
+                }
+            }
+            self.stats.deletions += norm.removals.len();
         }
         report.edges_removed = norm.removals.len();
 
@@ -321,11 +353,13 @@ impl CscIndex {
             ref mut inverted,
             ref config,
             ref mut workspace,
+            ref mut sweeps,
             ..
         } = *self;
         let graph = gb.graph();
         workspace.ensure(graph.vertex_count());
         let (state, cache) = workspace.parts_mut();
+        let buckets = sweeps.buckets_mut();
         for (&r, (fwd, bwd)) in &hubs {
             let vk = ranks.vertex_at_rank(r);
             for (seeds, direction) in [(fwd, Direction::Forward), (bwd, Direction::Backward)] {
@@ -333,6 +367,8 @@ impl CscIndex {
                     continue;
                 }
                 report.repair.affected_hubs += 1;
+                report.hub_cache_fills += 1;
+                report.hub_cache_hits += seeds.len() - 1;
                 multi_source_pass(
                     graph,
                     ranks,
@@ -340,6 +376,7 @@ impl CscIndex {
                     inverted,
                     state,
                     cache,
+                    buckets,
                     config.update_strategy,
                     direction,
                     r,

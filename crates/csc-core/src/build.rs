@@ -190,9 +190,14 @@ impl CoupleBfs {
             let cw = state.count[w.index()];
             counters.dequeues += 1;
 
-            // Shortest hub ~> w distance through strictly higher-ranked hubs.
+            // Shortest hub ~> w distance through strictly higher-ranked
+            // hubs. Lists are rank-sorted and the cache never holds a rank
+            // above the traversal hub's, so the scan stops at the prefix.
             let mut d_idx = INF;
             for e in labels.in_of(w) {
+                if e.hub_rank() > hub_rank {
+                    break;
+                }
                 if let Some((dh, _)) = self.cache.get(e.hub_rank()) {
                     d_idx = d_idx.min(dh + e.dist());
                 }
@@ -305,6 +310,9 @@ impl CoupleBfs {
 
             let mut d_idx = INF;
             for e in labels.out_of(w) {
+                if e.hub_rank() > hub_rank {
+                    break;
+                }
                 if let Some((dh, _)) = self.cache.get(e.hub_rank()) {
                     d_idx = d_idx.min(e.dist() + dh);
                 }

@@ -7,7 +7,7 @@ use crate::health::{HealthBaseline, IndexHealth};
 use crate::invert::InvertedIndex;
 use crate::stats::IndexStats;
 use csc_graph::bipartite::{in_vertex, out_vertex, BipartiteGraph};
-use csc_graph::{Csr, DiGraph, RankTable, VertexId};
+use csc_graph::{Csr, DiGraph, RankTable, TraversalWorkspace, VertexId};
 use csc_labeling::{BuildStats, CycleCount, DistCount, LabelEntry, LabelSide, Labels};
 use std::time::Instant;
 
@@ -38,6 +38,9 @@ pub struct CscIndex {
     pub(crate) baseline: HealthBaseline,
     pub(crate) poisoned: bool,
     pub(crate) workspace: CoupleBfs,
+    /// Pooled endpoint-sweep maps and the shared bucket queue for the
+    /// dynamic repair paths (never cloned or serialized — scratch only).
+    pub(crate) sweeps: TraversalWorkspace,
 }
 
 impl Clone for CscIndex {
@@ -52,6 +55,7 @@ impl Clone for CscIndex {
             baseline: self.baseline,
             poisoned: self.poisoned,
             workspace: CoupleBfs::new(self.gb.graph().vertex_count()),
+            sweeps: TraversalWorkspace::new(self.gb.graph().vertex_count()),
         }
     }
 }
@@ -115,6 +119,7 @@ impl CscIndex {
             baseline,
             poisoned: false,
             workspace: CoupleBfs::new(n),
+            sweeps: TraversalWorkspace::new(n),
         })
     }
 
@@ -175,6 +180,7 @@ impl CscIndex {
             inv.add(LabelSide::Out, ro, vo);
         }
         self.workspace.ensure(self.gb.graph().vertex_count());
+        self.sweeps.ensure(self.gb.graph().vertex_count());
         v
     }
 

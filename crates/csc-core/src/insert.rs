@@ -92,11 +92,13 @@ impl CscIndex {
             ref mut inverted,
             ref config,
             ref mut workspace,
+            ref mut sweeps,
             ..
         } = *self;
         let graph = gb.graph();
         workspace.ensure(graph.vertex_count());
         let (state, cache) = workspace.parts_mut();
+        let buckets = sweeps.buckets_mut();
 
         // Merge both sorted hub lists in ascending rank (descending
         // importance); a hub present in both runs both passes.
@@ -120,6 +122,7 @@ impl CscIndex {
                         inverted,
                         state,
                         cache,
+                        buckets,
                         config.update_strategy,
                         Direction::Forward,
                         r,
@@ -140,6 +143,7 @@ impl CscIndex {
                         inverted,
                         state,
                         cache,
+                        buckets,
                         config.update_strategy,
                         Direction::Backward,
                         r,

@@ -463,6 +463,9 @@ impl MaintenanceEngine {
             },
             poisoned: false,
             workspace: CoupleBfs::new(n),
+            // Reuse the retired index's pooled sweep maps and bucket
+            // queue: they are graph-shape scratch, already sized right.
+            sweeps: std::mem::take(&mut self.index.sweeps),
         };
         fresh.rebaseline(rejuvenations);
         // The baseline is the post-rebuild state; replayed updates then

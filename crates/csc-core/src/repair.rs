@@ -17,20 +17,28 @@
 //! * [`multi_source_pass`] — the batched generalization: one pass per
 //!   affected hub no matter how many inserted edges affect it. Seeds sit
 //!   at different depths, so the plain BFS queue becomes a monotone
-//!   *bucket queue* (unit edge weights keep it `O(V + E)`), and a seed
-//!   reached earlier by the traversal itself is relaxed downward — which
-//!   is exactly what makes the first-new-edge decomposition exact: every
-//!   brand-new shortest path decomposes as an *old* shortest prefix to the
-//!   first inserted edge it crosses (covered by that edge's pre-batch seed
-//!   entry) plus a suffix in the updated graph, which the traversal walks
-//!   because all batch edges are already present.
+//!   *bucket queue* (unit edge weights keep it `O(V + E)`; the queue
+//!   itself is recycled across passes via
+//!   [`csc_graph::BucketQueue`]), and a seed reached earlier by the
+//!   traversal itself is relaxed downward — which is exactly what makes
+//!   the first-new-edge decomposition exact: every brand-new shortest
+//!   path decomposes as an *old* shortest prefix to the first inserted
+//!   edge it crosses (covered by that edge's pre-batch seed entry) plus a
+//!   suffix in the updated graph, which the traversal walks because all
+//!   batch edges are already present;
+//! * [`multi_source_subtract`] — the decremental mirror: one pass per
+//!   count-repair hub subtracts every shortest path a whole *deletion*
+//!   window removed, via the dual last-old-edge decomposition (see its
+//!   docs).
 
 use crate::clean::clean_label;
 use crate::config::UpdateStrategy;
 use crate::invert::InvertedIndex;
 use crate::stats::UpdateReport;
-use csc_graph::{DiGraph, RankTable, VertexId};
-use csc_labeling::{HubCache, LabelEntry, LabelSide, LabelingError, Labels, SearchState, INF};
+use csc_graph::{BucketQueue, DiGraph, RankTable, VertexId};
+use csc_labeling::{
+    HubCache, LabelEntry, LabelSide, LabelingError, Labels, SearchState, INF, MAX_COUNT,
+};
 
 /// Which side of the index a repair traversal rebuilds.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -73,16 +81,23 @@ pub(crate) fn fill_hub_cache(
 /// `D_G(v_k, w)` (or `D_G(w, v_k)` for backward passes) under the current
 /// index, restricted to the hubs scattered in `cache` — i.e. through the
 /// pass hub itself and strictly higher-ranked hubs, whose entries are
-/// already repaired when passes run in descending rank order.
+/// already repaired when passes run in descending rank order. The cache
+/// never holds a rank above `vk_rank` (a hub's own label only stores
+/// higher-ranked hubs plus itself), so the rank-sorted scan stops at that
+/// prefix.
 #[inline]
 pub(crate) fn covered_dist(
     labels: &Labels,
     cache: &HubCache,
+    vk_rank: u32,
     w: VertexId,
     target_side: LabelSide,
 ) -> u32 {
     let mut dg = INF;
     for e in labels.side_of(w, target_side) {
+        if e.hub_rank() > vk_rank {
+            break;
+        }
         if let Some((dh, _)) = cache.get(e.hub_rank()) {
             dg = dg.min(dh + e.dist());
         }
@@ -153,6 +168,7 @@ pub(crate) fn maintenance_pass(
     inverted: &mut Option<InvertedIndex>,
     state: &mut SearchState,
     cache: &mut HubCache,
+    buckets: &mut BucketQueue,
     strategy: UpdateStrategy,
     direction: Direction,
     vk_rank: u32,
@@ -169,6 +185,7 @@ pub(crate) fn maintenance_pass(
         inverted,
         state,
         cache,
+        buckets,
         strategy,
         direction,
         vk_rank,
@@ -204,6 +221,7 @@ pub(crate) fn multi_source_pass(
     inverted: &mut Option<InvertedIndex>,
     state: &mut SearchState,
     cache: &mut HubCache,
+    buckets: &mut BucketQueue,
     strategy: UpdateStrategy,
     direction: Direction,
     vk_rank: u32,
@@ -214,40 +232,13 @@ pub(crate) fn multi_source_pass(
     debug_assert!(!seeds.is_empty());
     let (own_side, target_side) = direction.sides();
     fill_hub_cache(labels, cache, vk, vk_rank, own_side);
-
-    state.reset();
-    let base = seeds.iter().map(|&(_, d, _)| d).min().expect("non-empty");
-    // buckets[d - base] holds the frontier at distance d; pushes always
-    // target the current or a deeper bucket (monotonicity), so stale
-    // entries are filtered by re-checking the recorded distance at pop.
-    let mut buckets: Vec<Vec<u32>> = vec![Vec::new()];
-    let push = |buckets: &mut Vec<Vec<u32>>, d: u32, v: VertexId| {
-        let level = (d - base) as usize;
-        if buckets.len() <= level {
-            buckets.resize_with(level + 1, Vec::new);
-        }
-        buckets[level].push(v.0);
-    };
-
-    for &(start, d, c) in seeds {
-        if !state.visited(start) {
-            state.visit(start, d, c);
-            push(&mut buckets, d, start);
-        } else if state.dist[start.index()] == d {
-            state.accumulate(start, c);
-        } else if d < state.dist[start.index()] {
-            state.relax(start, d, c);
-            push(&mut buckets, d, start);
-        }
-        // d > recorded: a longer seeded class to the same start; its paths
-        // are not shortest and contribute nothing.
-    }
+    let base = seed_buckets(state, buckets, seeds);
 
     let mut level = 0usize;
-    while level < buckets.len() {
+    while level < buckets.depth() {
         let mut i = 0usize;
-        while i < buckets[level].len() {
-            let w = VertexId(buckets[level][i]);
+        while i < buckets.len_at(level) {
+            let w = VertexId(buckets.at(level, i));
             i += 1;
             let dw = base + level as u32;
             if state.dist[w.index()] != dw {
@@ -256,7 +247,7 @@ pub(crate) fn multi_source_pass(
             let cw = state.count[w.index()];
             report.vertices_visited += 1;
 
-            if dw > covered_dist(labels, cache, w, target_side) {
+            if dw > covered_dist(labels, cache, vk_rank, w, target_side) {
                 continue;
             }
 
@@ -287,18 +278,167 @@ pub(crate) fn multi_source_pass(
                 if !state.visited(u) {
                     if vk_rank < ranks.rank(u) {
                         state.visit(u, dw + 1, cw);
-                        push(&mut buckets, dw + 1, u);
+                        buckets.push((dw + 1 - base) as usize, u.0);
                     }
                 } else if state.dist[u.index()] == dw + 1 {
                     state.accumulate(u, cw);
                 } else if state.dist[u.index()] > dw + 1 {
                     // Only deeper-seeded vertices can be relaxed downward.
                     state.relax(u, dw + 1, cw);
-                    push(&mut buckets, dw + 1, u);
+                    buckets.push((dw + 1 - base) as usize, u.0);
                 }
             }
         }
         level += 1;
     }
     Ok(())
+}
+
+/// Resets `state` and `buckets` and loads `seeds` into them, merging
+/// colliding seeds (minimum distance wins, equal distances accumulate).
+/// Returns the base distance buckets are relative to.
+fn seed_buckets(state: &mut SearchState, buckets: &mut BucketQueue, seeds: &[Seed]) -> u32 {
+    state.reset();
+    buckets.reset();
+    let base = seeds.iter().map(|&(_, d, _)| d).min().expect("non-empty");
+    for &(start, d, c) in seeds {
+        if !state.visited(start) {
+            state.visit(start, d, c);
+            buckets.push((d - base) as usize, start.0);
+        } else if state.dist[start.index()] == d {
+            state.accumulate(start, c);
+        } else if d < state.dist[start.index()] {
+            state.relax(start, d, c);
+            buckets.push((d - base) as usize, start.0);
+        }
+        // d > recorded: a longer seeded class to the same start; its paths
+        // are not shortest and contribute nothing.
+    }
+    base
+}
+
+/// What a count-subtraction pass concluded.
+pub(crate) enum SubtractOutcome {
+    /// The cone was saturation-free and every buffered edit was applied.
+    Done,
+    /// A saturated (24-bit-capped) count was met — nothing was written;
+    /// the caller must demote the hub to the re-label regime.
+    Demote,
+}
+
+/// The decremental mirror of [`multi_source_pass`]: one traversal
+/// *subtracts* everything a whole window of edge deletions removed from
+/// hub `vk`'s shortest-path counts.
+///
+/// Exactness rests on the **last-old-edge decomposition** — the dual of
+/// the insertion engine's first-new-edge one. Every `vk`-maximal
+/// pre-window shortest path that crossed at least one deleted edge splits
+/// uniquely at its *last* crossing `(a_o, b_i)`: an arbitrary pre-window
+/// shortest prefix to `a_o` (counted exactly by the hub's *pre-window*
+/// seed entry, snapshotted before any repair) plus a suffix that crosses
+/// no deleted edge — which is exactly what the traversal walks, because
+/// all window edges are already gone from the graph. Summing over seeds
+/// therefore counts each vanished path once, no matter how many deleted
+/// edges it crossed.
+///
+/// Only applicable to hubs whose distances survived the window (the
+/// count-repair regime): every reached entry is decremented where its
+/// stored distance matches the traversal's, removed when the count hits
+/// zero. Edits are buffered and applied only when the whole merged cone
+/// is saturation-free; otherwise nothing is written and
+/// [`SubtractOutcome::Demote`] tells the caller to re-label instead.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn multi_source_subtract(
+    graph: &DiGraph,
+    ranks: &RankTable,
+    labels: &mut Labels,
+    inverted: &mut Option<InvertedIndex>,
+    state: &mut SearchState,
+    cache: &mut HubCache,
+    buckets: &mut BucketQueue,
+    direction: Direction,
+    vk_rank: u32,
+    vk: VertexId,
+    seeds: &[Seed],
+    report: &mut UpdateReport,
+) -> SubtractOutcome {
+    debug_assert!(!seeds.is_empty());
+    if seeds.iter().any(|&(_, _, c)| c >= MAX_COUNT) {
+        return SubtractOutcome::Demote;
+    }
+    let (own_side, target_side) = direction.sides();
+    fill_hub_cache(labels, cache, vk, vk_rank, own_side);
+    let base = seed_buckets(state, buckets, seeds);
+
+    // (vertex, remaining count) edits; remaining == 0 removes the entry.
+    let mut edits: Vec<(VertexId, u64)> = Vec::new();
+    let mut level = 0usize;
+    while level < buckets.depth() {
+        let mut i = 0usize;
+        while i < buckets.len_at(level) {
+            let w = VertexId(buckets.at(level, i));
+            i += 1;
+            let dw = base + level as u32;
+            if state.dist[w.index()] != dw {
+                continue;
+            }
+            let cw = state.count[w.index()];
+            report.vertices_visited += 1;
+
+            // Prune where the crossing paths are not shortest: distances
+            // only exceed `sd` deeper in the cone, so nothing there needs
+            // subtraction either.
+            if dw > covered_dist(labels, cache, vk_rank, w, target_side) {
+                continue;
+            }
+
+            if let Some(e) = labels.entry_for(w, target_side, vk_rank) {
+                if e.dist() == dw {
+                    if e.count_saturated() {
+                        return SubtractOutcome::Demote;
+                    }
+                    edits.push((w, e.count().saturating_sub(cw)));
+                }
+            }
+
+            let nbrs = match direction {
+                Direction::Forward => graph.nbr_out(w),
+                Direction::Backward => graph.nbr_in(w),
+            };
+            for &u in nbrs {
+                let u = VertexId(u);
+                if !state.visited(u) {
+                    if vk_rank < ranks.rank(u) {
+                        state.visit(u, dw + 1, cw);
+                        buckets.push((dw + 1 - base) as usize, u.0);
+                    }
+                } else if state.dist[u.index()] == dw + 1 {
+                    state.accumulate(u, cw);
+                }
+                // dist[u] < dw + 1: the class through w is not shortest at
+                // u; its counts were already excluded there. dist[u] >
+                // dw + 1 cannot happen — subtraction seeds sit at exact
+                // pre-window distances, so no downward relaxation exists.
+            }
+        }
+        level += 1;
+    }
+
+    for (w, remaining) in edits {
+        if remaining == 0 {
+            labels.remove(w, target_side, vk_rank);
+            if let Some(inv) = inverted {
+                inv.remove(target_side, vk_rank, w);
+            }
+            report.entries_removed += 1;
+        } else {
+            let e = labels
+                .entry_for(w, target_side, vk_rank)
+                .expect("buffered edit targets an existing entry");
+            let updated = LabelEntry::new_unchecked(vk_rank, e.dist(), remaining);
+            labels.upsert(w, target_side, updated);
+            report.entries_updated += 1;
+        }
+    }
+    SubtractOutcome::Done
 }

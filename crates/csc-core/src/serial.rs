@@ -246,6 +246,7 @@ impl CscIndex {
             baseline,
             poisoned: false,
             workspace: CoupleBfs::new(two_n),
+            sweeps: csc_graph::TraversalWorkspace::new(two_n),
         })
     }
 }

@@ -36,6 +36,25 @@ pub struct UpdateReport {
     pub vertices_visited: usize,
     /// Wall-clock time of the update.
     pub duration: Duration,
+    /// Deletion repair: time classifying the window (endpoint BFS sweeps
+    /// + per-hub regime assignment). Zero for insertions.
+    pub classify_time: Duration,
+    /// Deletion repair: time in the merged count-subtraction passes.
+    pub subtract_time: Duration,
+    /// Deletion repair: time in the re-label regime (superset deletion +
+    /// upsert BFS sweeps) — historically the dominant share.
+    pub relabel_time: Duration,
+    /// Affected-hub carrier lookups served by the inverted index.
+    pub carriers_indexed: usize,
+    /// Carrier lookups that fell back to scanning every label list (the
+    /// batched deletion path keeps this at zero by building the inverted
+    /// index on demand).
+    pub carriers_scanned: usize,
+    /// Deletion windows that demoted so much of the index that repairing
+    /// fell back to a from-scratch label rebuild under the existing rank
+    /// order (exact by construction, and cheaper than sweeping most hubs
+    /// in upsert mode).
+    pub rebuild_fallbacks: usize,
 }
 
 impl UpdateReport {

@@ -44,4 +44,5 @@ pub use csr::Csr;
 pub use digraph::DiGraph;
 pub use error::GraphError;
 pub use order::{OrderingStrategy, Rank, RankTable};
+pub use traversal::{BucketQueue, DistMap, SweepHandle, SweepMaps, TraversalWorkspace, UNREACHED};
 pub use vertex::VertexId;

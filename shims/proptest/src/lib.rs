@@ -156,8 +156,15 @@ macro_rules! prop_assume {
 }
 
 #[macro_export]
-/// Uniform choice between strategies with a common value type.
+/// Choice between strategies with a common value type: uniform
+/// (`prop_oneof![a, b]`) or weighted (`prop_oneof![3 => a, 1 => b]`),
+/// matching upstream's two arm forms.
 macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
     ($($strat:expr),+ $(,)?) => {
         $crate::strategy::Union::new(vec![
             $($crate::strategy::Strategy::boxed($strat)),+

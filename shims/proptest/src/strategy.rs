@@ -154,20 +154,36 @@ where
     }
 }
 
-/// Uniform choice among same-typed strategies (`prop_oneof!`).
+/// Choice among same-typed strategies (`prop_oneof!`), uniform or
+/// weighted like upstream's `W => strategy` arms.
 pub struct Union<T> {
-    options: Vec<BoxedStrategy<T>>,
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
 }
 
 impl<T> Union<T> {
-    /// Builds a union over `options`.
+    /// Builds a uniform union over `options`.
     ///
     /// # Panics
     ///
     /// Panics if `options` is empty.
     pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        Self::new_weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// Builds a union picking each option proportionally to its weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty or every weight is zero.
+    pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
         assert!(!options.is_empty(), "prop_oneof! needs at least one option");
-        Union { options }
+        let total_weight: u64 = options.iter().map(|&(w, _)| u64::from(w)).sum();
+        assert!(total_weight > 0, "prop_oneof! needs a positive weight");
+        Union {
+            options,
+            total_weight,
+        }
     }
 }
 
@@ -175,8 +191,15 @@ impl<T> Strategy for Union<T> {
     type Value = T;
 
     fn generate(&self, rng: &mut TestRng) -> T {
-        let i = rng.gen_range(0..self.options.len());
-        self.options[i].generate(rng)
+        let mut pick = rng.gen_range(0..self.total_weight);
+        for (w, option) in &self.options {
+            let w = u64::from(*w);
+            if pick < w {
+                return option.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total_weight")
     }
 }
 
@@ -258,6 +281,23 @@ mod tests {
             seen[u.generate(&mut rng) as usize] = true;
         }
         assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn weighted_union_respects_weights() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let u = Union::new_weighted(vec![(9, Just(1u8).boxed()), (1, Just(2u8).boxed())]);
+        let mut counts = [0usize; 3];
+        for _ in 0..1000 {
+            counts[u.generate(&mut rng) as usize] += 1;
+        }
+        assert!(counts[1] > counts[2], "9:1 weights must skew the draw");
+        assert!(counts[2] > 0, "light options still occur");
+        // A zero-weight option is never drawn.
+        let u = Union::new_weighted(vec![(0, Just(1u8).boxed()), (1, Just(2u8).boxed())]);
+        for _ in 0..50 {
+            assert_eq!(u.generate(&mut rng), 2);
+        }
     }
 
     #[test]

@@ -117,6 +117,20 @@ fn apply_one_by_one(index: &mut CscIndex, updates: &[GraphUpdate]) -> usize {
     applied
 }
 
+/// A deletion-heavy script: mostly removals with occasional reinsertions
+/// and absent-edge rejections, for the windowed decremental engine.
+fn arb_delete_heavy_script(len: usize) -> impl Strategy<Value = Vec<RawOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => any::<u64>().prop_map(RawOp::Remove),
+            1 => any::<u64>().prop_map(RawOp::Insert),
+            1 => any::<u64>().prop_map(RawOp::RemoveAbsent),
+            1 => any::<u64>().prop_map(RawOp::Flap),
+        ],
+        1..len,
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -205,6 +219,113 @@ proptest! {
     }
 
     #[test]
+    fn delete_only_batched_equals_sequential_and_oracle(
+        n in 8usize..18,
+        seed in any::<u64>(),
+        take in 2usize..14,
+    ) {
+        // Dense start so the windowed engine sees real cones; one batch
+        // removes a spread-out slice of the edges.
+        let g = generators::gnm(n, n * 4, seed);
+        let base = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let edges = g.edge_vec();
+        let updates: Vec<GraphUpdate> = edges
+            .iter()
+            .step_by((edges.len() / take.min(edges.len()).max(1)).max(1))
+            .map(|&(a, b)| GraphUpdate::RemoveEdge(VertexId(a), VertexId(b)))
+            .collect();
+        prop_assume!(!updates.is_empty());
+
+        let mut batched = base.clone();
+        let report = batched.apply_batch(&updates).unwrap();
+        prop_assert_eq!(report.edges_removed, updates.len());
+        let mut sequential = base;
+        apply_one_by_one(&mut sequential, &updates);
+
+        let g_final = sequential.original_graph();
+        prop_assert_eq!(&batched.original_graph(), &g_final);
+        for v in g_final.vertices() {
+            let got = batched.query(v);
+            prop_assert_eq!(got, sequential.query(v), "vs sequential at {}", v);
+            prop_assert_eq!(
+                got.map(|c| (c.length, c.count)),
+                shortest_cycle_oracle(&g_final, v),
+                "vs oracle at {}", v
+            );
+        }
+    }
+
+    #[test]
+    fn delete_then_reinsert_windows_restore_the_index(
+        n in 8usize..16,
+        seed in any::<u64>(),
+        window in 1usize..6,
+    ) {
+        // A deletion window followed by the mirror insertion window must
+        // answer exactly like the untouched graph — the decremental and
+        // incremental engines must be true inverses at the query level.
+        let g = generators::gnm(n, n * 3, seed);
+        let base = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let victims: Vec<(u32, u32)> = g.edge_vec().into_iter().step_by(3).collect();
+        prop_assume!(!victims.is_empty());
+        let removals: Vec<GraphUpdate> = victims
+            .iter()
+            .map(|&(a, b)| GraphUpdate::RemoveEdge(VertexId(a), VertexId(b)))
+            .collect();
+        let reinserts: Vec<GraphUpdate> = victims
+            .iter()
+            .map(|&(a, b)| GraphUpdate::InsertEdge(VertexId(a), VertexId(b)))
+            .collect();
+
+        let mut idx = base.clone();
+        for chunk in removals.chunks(window) {
+            idx.apply_batch(chunk).unwrap();
+        }
+        for chunk in reinserts.chunks(window) {
+            idx.apply_batch(chunk).unwrap();
+        }
+        prop_assert_eq!(&idx.original_graph(), &g);
+        for v in g.vertices() {
+            prop_assert_eq!(idx.query(v), base.query(v), "at {}", v);
+        }
+    }
+
+    #[test]
+    fn delete_heavy_windowing_is_invariant(
+        n in 8usize..16,
+        seed in any::<u64>(),
+        script in arb_delete_heavy_script(24),
+        window in 1usize..7,
+    ) {
+        // Chopping a deletion-dominated stream into windows of any size
+        // must not change where the index ends up, whichever mix of the
+        // surgical per-hub path and the rebuild fallback each window takes.
+        let g = generators::gnm(n, n * 3, seed);
+        let updates = resolve(&g, &script);
+        let base = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let mut whole = base.clone();
+        whole.apply_batch(&updates).unwrap();
+        let mut windowed = base.clone();
+        for chunk in updates.chunks(window) {
+            windowed.apply_batch(chunk).unwrap();
+        }
+        let mut sequential = base;
+        apply_one_by_one(&mut sequential, &updates);
+        prop_assert_eq!(&whole.original_graph(), &windowed.original_graph());
+        let g_final = sequential.original_graph();
+        for v in g_final.vertices() {
+            let got = whole.query(v);
+            prop_assert_eq!(got, windowed.query(v), "windowed at {}", v);
+            prop_assert_eq!(got, sequential.query(v), "sequential at {}", v);
+            prop_assert_eq!(
+                got.map(|c| (c.length, c.count)),
+                shortest_cycle_oracle(&g_final, v),
+                "oracle at {}", v
+            );
+        }
+    }
+
+    #[test]
     fn concurrent_batches_publish_exact_snapshots(
         script in arb_script(16),
         seed in any::<u64>(),
@@ -226,5 +347,104 @@ proptest! {
             }
             assert_eq!(snap.total_entries(), idx.total_entries());
         });
+    }
+}
+
+#[test]
+fn saturated_count_demotion_inside_a_batch() {
+    // 2^26 shortest cycles saturate the 24-bit counts, so the merged
+    // subtraction pass must refuse and demote to the re-label regime —
+    // with *two* deletions in one window, exercising the windowed demotion
+    // path. Lengths must match the one-by-one application and the oracle.
+    let widths = vec![2usize; 27];
+    let g = generators::layered_cycle(&widths);
+    let base = CscIndex::build(&g, CscConfig::default()).unwrap();
+    assert!(base.query(VertexId(0)).unwrap().count >= (1 << 24) - 1);
+    let updates = [
+        GraphUpdate::RemoveEdge(VertexId(2), VertexId(4)),
+        GraphUpdate::RemoveEdge(VertexId(5), VertexId(7)),
+    ];
+    let mut batched = base.clone();
+    batched.apply_batch(&updates).unwrap();
+    let mut sequential = base;
+    apply_one_by_one(&mut sequential, &updates);
+    let g_final = sequential.original_graph();
+    for v in g_final.vertices() {
+        assert_eq!(batched.query(v), sequential.query(v), "SCCnt({v})");
+    }
+    let oracle = shortest_cycle_oracle(&g_final, VertexId(0)).unwrap();
+    assert_eq!(batched.query(VertexId(0)).unwrap().length, oracle.0);
+}
+
+#[test]
+fn batched_deletions_take_the_indexed_carrier_path() {
+    // `with_inverted(false)` trades the inverted index away; the batch
+    // engine must not pay the full-scan fallback for it — it builds the
+    // index on demand, keeps it maintained, and never scans.
+    let g = generators::gnm(18, 60, 23);
+    let config = CscConfig::default().with_inverted(false);
+    let mut idx = CscIndex::build(&g, config).unwrap();
+    let updates: Vec<GraphUpdate> = g
+        .edge_vec()
+        .into_iter()
+        .step_by(4)
+        .map(|(a, b)| GraphUpdate::RemoveEdge(VertexId(a), VertexId(b)))
+        .collect();
+    let report = idx.apply_batch(&updates).unwrap();
+    assert_eq!(report.edges_removed, updates.len());
+    assert_eq!(
+        report.repair.carriers_scanned, 0,
+        "the batched deletion path must never scan for carriers"
+    );
+    // Follow-up deletions keep using (and maintaining) the built index.
+    let g_now = idx.original_graph();
+    let victim = g_now.edge_vec()[0];
+    let report = idx
+        .apply_batch(&[GraphUpdate::RemoveEdge(
+            VertexId(victim.0),
+            VertexId(victim.1),
+        )])
+        .unwrap();
+    assert_eq!(report.repair.carriers_scanned, 0);
+    let g_final = idx.original_graph();
+    for v in g_final.vertices() {
+        assert_eq!(
+            idx.query(v).map(|c| (c.length, c.count)),
+            shortest_cycle_oracle(&g_final, v),
+            "SCCnt({v})"
+        );
+    }
+}
+
+#[test]
+fn overwhelming_windows_fall_back_to_rebuild_and_stay_exact() {
+    // Removing most of a dense graph in one window demotes nearly every
+    // hub; the engine must take the from-scratch rebuild fallback and
+    // still answer exactly like the one-by-one application.
+    let g = generators::gnm(16, 64, 31);
+    let base = CscIndex::build(&g, CscConfig::default()).unwrap();
+    let updates: Vec<GraphUpdate> = g
+        .edge_vec()
+        .into_iter()
+        .step_by(2)
+        .map(|(a, b)| GraphUpdate::RemoveEdge(VertexId(a), VertexId(b)))
+        .collect();
+    let mut batched = base.clone();
+    let report = batched.apply_batch(&updates).unwrap();
+    assert!(
+        report.repair.rebuild_fallbacks > 0,
+        "a half-the-graph window must trip the rebuild fallback"
+    );
+    let mut sequential = base;
+    apply_one_by_one(&mut sequential, &updates);
+    let g_final = sequential.original_graph();
+    for v in g_final.vertices() {
+        let got = batched.query(v);
+        assert_eq!(got, sequential.query(v), "vs sequential at {v}");
+        assert_eq!(
+            got.map(|c| (c.length, c.count)),
+            shortest_cycle_oracle(&g_final, v),
+            "vs oracle at {v}"
+        );
     }
 }
