@@ -1,0 +1,24 @@
+//! Quick driver for the `crash_recovery` experiment at a given scale
+//! (dev tool and CI smoke): durable churn replay → simulated crash →
+//! checkpoint + WAL recovery, swept over checkpoint cadences. Prints the
+//! cadence table and the cold-rebuild yardstick; appends JSON lines (the
+//! repo records them in `BENCH_recover.json`) when `CRITERION_JSON`
+//! names a file.
+//!
+//! ```text
+//! recovery_probe [scale]      # default 0.05
+//! ```
+use csc_bench::experiments::{crash_recovery, ExpContext};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let ctx = ExpContext {
+        scale,
+        quick: scale < 0.1,
+        ..ExpContext::default()
+    };
+    println!("{}", crash_recovery::run(&ctx));
+}

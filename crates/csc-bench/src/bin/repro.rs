@@ -14,6 +14,7 @@
 //!   stream-replay  Extension — batched update-stream replay
 //!   churn-drift    Extension — churn drift and online rejuvenation
 //!   deletion-churn Extension — windowed deletion repair under churn
+//!   crash-recovery Extension — recovery time vs checkpoint cadence
 //!   all            Everything above, in order
 //!
 //! Options:
@@ -25,8 +26,8 @@
 //! ```
 
 use csc_bench::experiments::{
-    ablation, case_study, churn_drift, deletion_churn, fig10, fig11, fig12, fig9, stream_replay,
-    table4, throughput, ExpContext,
+    ablation, case_study, churn_drift, crash_recovery, deletion_churn, fig10, fig11, fig12, fig9,
+    stream_replay, table4, throughput, ExpContext,
 };
 use std::process::ExitCode;
 
@@ -34,7 +35,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--seed N] [--quick] [--datasets A,B] [--out DIR] \
          <table4|fig9|fig10|fig11|fig12|case-study|throughput|stream-replay|churn-drift|\
-          deletion-churn|ablation|all>"
+          deletion-churn|crash-recovery|ablation|all>"
     );
     std::process::exit(2);
 }
@@ -95,6 +96,7 @@ fn main() -> ExitCode {
             "stream-replay" | "stream_replay" => println!("{}", stream_replay::run(ctx)),
             "churn-drift" | "churn_drift" => println!("{}", churn_drift::run(ctx)),
             "deletion-churn" | "deletion_churn" => println!("{}", deletion_churn::run(ctx)),
+            "crash-recovery" | "crash_recovery" => println!("{}", crash_recovery::run(ctx)),
             "ablation" => println!("{}", ablation::run(ctx)),
             _ => return false,
         }
@@ -113,6 +115,7 @@ fn main() -> ExitCode {
             "stream-replay",
             "churn-drift",
             "deletion-churn",
+            "crash-recovery",
             "ablation",
         ] {
             eprintln!("==> {name}");

@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod case_study;
 pub mod churn_drift;
+pub mod crash_recovery;
 pub mod deletion_churn;
 pub mod fig10;
 pub mod fig11;

@@ -246,6 +246,7 @@ impl CscIndex {
     /// the single-update paths.
     pub fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Result<BatchReport, CscError> {
         self.check_ready()?;
+        faultpoint!("batch.begin");
         let start = Instant::now();
         let norm = self.normalize_batch(updates);
         let mut report = BatchReport {
@@ -279,7 +280,9 @@ impl CscIndex {
                     report.hub_cache_hits += del.cache_hits;
                 }
                 Err(e) => {
-                    self.poisoned = true;
+                    self.poison(format!(
+                        "label overflow during batched deletion repair: {e}"
+                    ));
                     return Err(e.into());
                 }
             }
@@ -290,7 +293,7 @@ impl CscIndex {
         // Phase 3: net insertions — all edges enter the graph first, then
         // one multi-source pass per affected hub repairs the lot.
         if let Err(e) = self.batched_insert_repair(&norm.insertions, &mut report) {
-            self.poisoned = true;
+            self.poison(format!("label overflow during batched insert repair: {e}"));
             return Err(e.into());
         }
         report.edges_inserted = norm.insertions.len();
@@ -322,6 +325,9 @@ impl CscIndex {
                 .insert_original_edge(a, b)
                 .expect("normalization verified the insertion");
         }
+        // The graph now carries the new edges but no label has been
+        // repaired yet — the widest torn window a crash can expose.
+        faultpoint!("batch.insert.graphed");
 
         // rank -> (forward seeds, backward seeds), iterated in ascending
         // rank (descending importance).
@@ -619,10 +625,10 @@ mod tests {
     #[test]
     fn poisoned_index_refuses_batches() {
         let mut idx = CscIndex::build(&directed_cycle(3), CscConfig::default()).unwrap();
-        idx.poisoned = true;
+        idx.poison("simulated");
         assert!(matches!(
             idx.apply_batch(&[AddVertex]),
-            Err(CscError::Poisoned)
+            Err(CscError::Poisoned { .. })
         ));
     }
 }

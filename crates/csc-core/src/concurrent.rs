@@ -47,13 +47,14 @@ use crate::batch::{BatchReport, GraphUpdate};
 use crate::error::CscError;
 use crate::health::{IndexHealth, RebuildReason};
 use crate::index::CscIndex;
-use crate::maintain::{MaintenanceEngine, MaintenanceStatus, RejuvenationReport};
+use crate::maintain::{MaintenanceEngine, MaintenanceStatus, RecoveryReport, RejuvenationReport};
 use crate::snapshot::SnapshotIndex;
 use crate::stats::{SnapshotStats, UpdateReport};
 use csc_graph::VertexId;
 use csc_labeling::CycleCount;
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A read-mostly, single-writer handle around a [`CscIndex`] that serves
@@ -100,6 +101,10 @@ pub struct ConcurrentIndex {
     published: AtomicUsize,
     /// `CscConfig::snapshot_every` captured at construction.
     refresh_every: usize,
+    /// Set for the duration of [`recover`](Self::recover), so
+    /// [`status`](Self::status) can report `Recovering` without waiting
+    /// on the engine lock the recovery holds.
+    recovering: AtomicBool,
 }
 
 impl ConcurrentIndex {
@@ -116,7 +121,68 @@ impl ConcurrentIndex {
             pending: AtomicUsize::new(0),
             published: AtomicUsize::new(1),
             refresh_every,
+            recovering: AtomicBool::new(false),
         }
+    }
+
+    /// Reopens an index from a durability directory (newest readable
+    /// checkpoint + WAL replay — see [`MaintenanceEngine::recover`]) and
+    /// publishes its initial snapshot.
+    pub fn open(dir: impl AsRef<Path>) -> Result<(Self, RecoveryReport), CscError> {
+        let (mut engine, report) = MaintenanceEngine::recover(dir)?;
+        let refresh_every = engine.index().config().snapshot_every;
+        let snapshot = Arc::new(engine.publish_from(None));
+        Ok((
+            ConcurrentIndex {
+                inner: RwLock::new(engine),
+                snapshot: RwLock::new(snapshot),
+                pending: AtomicUsize::new(0),
+                published: AtomicUsize::new(1),
+                refresh_every,
+                recovering: AtomicBool::new(false),
+            },
+            report,
+        ))
+    }
+
+    /// Attaches a durability directory (initial checkpoint + fresh WAL)
+    /// under the write lock; see
+    /// [`MaintenanceEngine::attach_durability`].
+    pub fn attach_durability(&self, dir: impl AsRef<Path>) -> Result<u64, CscError> {
+        self.inner.write().attach_durability(dir)
+    }
+
+    /// Forces a checkpoint now (when durability is attached and no
+    /// rejuvenation is in flight); see [`MaintenanceEngine::checkpoint`].
+    pub fn checkpoint(&self) -> Result<Option<u64>, CscError> {
+        self.inner.write().checkpoint()
+    }
+
+    /// Where the maintenance state machine is, including the degradation
+    /// lifecycle: `Degraded` after a write-path panic, `Recovering`
+    /// while [`recover`](Self::recover) runs.
+    pub fn status(&self) -> MaintenanceStatus {
+        if self.recovering.load(Ordering::Relaxed) {
+            return MaintenanceStatus::Recovering;
+        }
+        self.inner.read().status()
+    }
+
+    /// Recovers a degraded writer in place (checkpoint + WAL replay with
+    /// durability attached, graph rebuild + queue replay without) and
+    /// republishes. Readers keep the last published snapshot for the
+    /// whole duration — [`status`](Self::status) reports `Recovering`,
+    /// and the swap to the recovered state is one atomic publication.
+    pub fn recover(&self) -> Result<RecoveryReport, CscError> {
+        self.recovering.store(true, Ordering::SeqCst);
+        let result = (|| {
+            let mut guard = self.inner.write();
+            let report = guard.recover_in_place()?;
+            self.publish(&mut guard);
+            Ok(report)
+        })();
+        self.recovering.store(false, Ordering::SeqCst);
+        result
     }
 
     /// The currently published snapshot. Cheap (`Arc` clone); hold on to
@@ -194,12 +260,12 @@ impl ConcurrentIndex {
     /// Appends a fresh vertex under the write lock. Counts as an update
     /// toward the refresh policy; until the next publication, snapshot
     /// readers simply answer `None` for the not-yet-covered vertex.
-    pub fn add_vertex(&self) -> VertexId {
+    pub fn add_vertex(&self) -> Result<VertexId, CscError> {
         let mut guard = self.inner.write();
         let rebuilding = guard.is_rebuilding();
-        let v = guard.add_vertex();
+        let v = guard.add_vertex()?;
         self.after_updates(&mut guard, usize::from(!rebuilding));
-        v
+        Ok(v)
     }
 
     /// Freezes and publishes a snapshot of the current state now,
@@ -284,6 +350,11 @@ impl ConcurrentIndex {
     }
 
     fn after_updates(&self, engine: &mut MaintenanceEngine, applied: usize) {
+        if engine.is_degraded() {
+            // Nothing to advance or publish from a degraded writer; the
+            // published snapshot stays pinned until recover().
+            return;
+        }
         // Cooperative maintenance first: a policy trip starts the rebuild,
         // an in-flight one advances a bounded chunk on the writer's dime.
         // The dead-space threshold is judged against the *served* arena —
@@ -323,6 +394,11 @@ impl ConcurrentIndex {
     /// dirty set — holds because *every* publication (constructor, auto,
     /// manual, post-swap) drains here under the write lock.
     fn publish(&self, engine: &mut MaintenanceEngine) {
+        if engine.is_degraded() {
+            // Freezing a poisoned index would publish torn labels; the
+            // last good snapshot keeps serving instead.
+            return;
+        }
         let prev = self.snapshot.read().clone();
         let fresh = Arc::new(engine.publish_from(Some(&prev)));
         *self.snapshot.write() = fresh;
@@ -406,7 +482,7 @@ mod tests {
     fn add_vertex_through_wrapper() {
         let g = directed_cycle(3);
         let shared: ConcurrentIndex = CscIndex::build(&g, CscConfig::default()).unwrap().into();
-        let nv = shared.add_vertex();
+        let nv = shared.add_vertex().unwrap();
         shared.insert_edge(VertexId(0), nv).unwrap();
         // Whether or not these two updates crossed the refresh interval,
         // an isolated / not-yet-covered vertex answers None.
@@ -419,7 +495,7 @@ mod tests {
         let g = directed_cycle(3);
         let config = CscConfig::default().with_snapshot_every(0);
         let shared = ConcurrentIndex::new(CscIndex::build(&g, config).unwrap());
-        shared.add_vertex();
+        shared.add_vertex().unwrap();
         let stats = shared.snapshot_stats();
         assert_eq!(
             (stats.published, stats.pending_updates),
@@ -593,7 +669,7 @@ mod tests {
         shared.begin_rejuvenation().unwrap();
         // Mid-rebuild writes ride along: each advances the rebuild a chunk
         // and lands in the replay queue, never on the old labels.
-        let nv = shared.add_vertex();
+        let nv = shared.add_vertex().unwrap();
         shared.insert_edge(VertexId(0), nv).unwrap();
         shared.insert_edge(nv, VertexId(1)).unwrap();
         let h = shared.health();
@@ -637,9 +713,9 @@ mod tests {
                     .with_auto(true),
             );
         let shared = ConcurrentIndex::new(CscIndex::build(&g, config).unwrap());
-        shared.add_vertex();
+        shared.add_vertex().unwrap();
         assert_eq!(shared.health().rejuvenations, 0);
-        shared.add_vertex(); // trips the churn threshold; rebuild starts
+        shared.add_vertex().unwrap(); // trips the churn threshold; rebuild starts
         while shared.maintain(usize::MAX).unwrap() != crate::MaintenanceStatus::Serving {}
         let h = shared.health();
         assert_eq!(h.rejuvenations, 1);

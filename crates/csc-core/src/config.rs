@@ -21,6 +21,89 @@ pub enum UpdateStrategy {
     Minimality,
 }
 
+/// When the write-ahead log flushes its file to stable storage.
+///
+/// The WAL always *writes* every record before the update applies; this
+/// knob only controls how often those writes are `fsync`ed. A crash
+/// between syncs can lose at most the unsynced suffix of acknowledged
+/// windows — recovery still lands on a consistent prefix state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// `fsync` after every appended record: an acknowledged update is
+    /// durable. The default — this is the durability plane's reason to
+    /// exist.
+    #[default]
+    Always,
+    /// `fsync` every `n` appended records (`n >= 1`; rejected at `0` by
+    /// [`CscConfig::validate`]). Bounds loss to the last `n - 1`
+    /// acknowledged windows while amortizing the sync cost.
+    Every(u32),
+    /// Never `fsync` from the WAL path (the OS flushes on its own
+    /// schedule; rotation still syncs). For workloads where process
+    /// death, not power loss, is the failure model.
+    Never,
+}
+
+/// Durability knobs: write-ahead logging, checkpoint cadence, and the
+/// post-swap/post-recovery integrity check. Only consulted once a
+/// directory is attached via
+/// [`MaintenanceEngine::attach_durability`](crate::MaintenanceEngine::attach_durability)
+/// (or [`ConcurrentIndex::attach_durability`](crate::ConcurrentIndex::attach_durability));
+/// an unattached engine runs exactly as before.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// WAL fsync cadence (see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+    /// Write a fresh checkpoint (and rotate the WAL) every this many
+    /// logged update windows. Smaller values bound recovery time (less
+    /// WAL to replay); larger values amortize the serialize-and-rename
+    /// cost. Must be `>= 1`; checkpoints are deferred while a
+    /// rejuvenation is in flight (the WAL suffix must cover the queued
+    /// writes) and taken at the next serving-state window.
+    pub checkpoint_every: u32,
+    /// How many checkpoint generations to keep on disk. The newest is
+    /// the recovery fast path; older ones are the fallback when the
+    /// newest is torn or bit-flipped. Must be `>= 1`; `2` (the default)
+    /// survives a crash *during* checkpointing.
+    pub keep_checkpoints: u32,
+    /// Run [`check_integrity`](crate::verify::check_integrity) — the
+    /// `O(entries)` structural sweep — after every rejuvenation swap and
+    /// at the end of every recovery, degrading the engine instead of
+    /// serving a structurally broken index.
+    pub check_integrity: bool,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: 64,
+            keep_checkpoints: 2,
+            check_integrity: false,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// Rejects degenerate cadences; called from [`CscConfig::validate`].
+    pub fn validate(&self) -> Result<(), String> {
+        if self.checkpoint_every == 0 {
+            return Err("durability.checkpoint_every must be >= 1 (a zero cadence would checkpoint never or always, both degenerate)".into());
+        }
+        if self.keep_checkpoints == 0 {
+            return Err(
+                "durability.keep_checkpoints must be >= 1 (recovery needs at least one)".into(),
+            );
+        }
+        if self.fsync == FsyncPolicy::Every(0) {
+            return Err(
+                "durability.fsync Every(0) is degenerate; use Always or Every(n >= 1)".into(),
+            );
+        }
+        Ok(())
+    }
+}
+
 /// Configuration for building a [`CscIndex`](crate::CscIndex).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CscConfig {
@@ -62,6 +145,10 @@ pub struct CscConfig {
     /// see [`RebuildPolicy`]. Default: trigger measurement at 200% label
     /// growth, automatic rebuild off.
     pub rebuild: RebuildPolicy,
+    /// Durability knobs (WAL fsync, checkpoint cadence, integrity
+    /// check); inert until a directory is attached. See
+    /// [`DurabilityConfig`].
+    pub durability: DurabilityConfig,
 }
 
 impl Default for CscConfig {
@@ -72,6 +159,7 @@ impl Default for CscConfig {
             maintain_inverted: true,
             snapshot_every: 8,
             rebuild: RebuildPolicy::default(),
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -118,6 +206,32 @@ impl CscConfig {
         self
     }
 
+    /// Builder-style: set the durability knobs.
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Builder-style: set the checkpoint cadence (windows between
+    /// checkpoints) without touching the other durability knobs.
+    pub fn with_checkpoint_every(mut self, windows: u32) -> Self {
+        self.durability.checkpoint_every = windows;
+        self
+    }
+
+    /// Builder-style: set the WAL fsync policy.
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.durability.fsync = fsync;
+        self
+    }
+
+    /// Builder-style: toggle the post-swap / post-recovery integrity
+    /// check.
+    pub fn with_integrity_check(mut self, on: bool) -> Self {
+        self.durability.check_integrity = on;
+        self
+    }
+
     /// Rejects degenerate configurations. Called by `CscIndex::build` and
     /// `CscIndex::from_bytes`, so an invalid configuration can never reach
     /// a live index.
@@ -139,6 +253,7 @@ impl CscConfig {
     /// Returns [`CscError::Config`] naming the offending field.
     pub fn validate(&self) -> Result<(), CscError> {
         self.rebuild.validate().map_err(CscError::Config)?;
+        self.durability.validate().map_err(CscError::Config)?;
         if self.update_strategy == UpdateStrategy::Minimality && !self.maintain_inverted {
             return Err(CscError::Config(
                 "update_strategy Minimality requires maintain_inverted".into(),
@@ -206,6 +321,45 @@ mod tests {
         // Disabled thresholds stay valid.
         let c = CscConfig::default().with_rebuild_policy(RebuildPolicy::manual_only());
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_durability_knobs() {
+        let c = CscConfig::default().with_checkpoint_every(0);
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("checkpoint_every"), "{err}");
+
+        let c = CscConfig::default().with_durability(DurabilityConfig {
+            keep_checkpoints: 0,
+            ..Default::default()
+        });
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("keep_checkpoints"), "{err}");
+
+        let c = CscConfig::default().with_fsync(FsyncPolicy::Every(0));
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("Every(0)"), "{err}");
+
+        // The defaults and the legitimate boundary values stay valid.
+        assert!(CscConfig::default().validate().is_ok());
+        assert!(CscConfig::default()
+            .with_checkpoint_every(1)
+            .with_fsync(FsyncPolicy::Every(1))
+            .validate()
+            .is_ok());
+        assert!(CscConfig::default()
+            .with_fsync(FsyncPolicy::Never)
+            .with_integrity_check(true)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn durability_defaults_favor_safety() {
+        let d = DurabilityConfig::default();
+        assert_eq!(d.fsync, FsyncPolicy::Always, "acknowledged == durable");
+        assert_eq!(d.keep_checkpoints, 2, "survive a crash mid-checkpoint");
+        assert!(d.checkpoint_every >= 1);
     }
 
     #[test]

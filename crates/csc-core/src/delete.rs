@@ -169,7 +169,7 @@ impl CscIndex {
         let start = Instant::now();
         let mut report = UpdateReport::default();
         if let Err(e) = self.repair_deletions(&[(a, b)], &mut report) {
-            self.poisoned = true;
+            self.poison(format!("label overflow during remove_edge({a}, {b}): {e}"));
             return Err(e.into());
         }
         report.duration = start.elapsed();

@@ -11,14 +11,49 @@ pub enum CscError {
     Graph(GraphError),
     /// A labeling-level problem (capacity overflow).
     Labeling(LabelingError),
-    /// The index was left inconsistent by an earlier failed update and must
-    /// be rebuilt before further use.
-    Poisoned,
-    /// A serialization problem.
+    /// The index was left inconsistent by an earlier failed update or a
+    /// panic caught on the write path, and must be recovered (from
+    /// checkpoint + WAL, or by a rebuild) before further writes. `detail`
+    /// names what went wrong.
+    Poisoned {
+        /// What poisoned the writer (the failed operation or the caught
+        /// panic message).
+        detail: String,
+    },
+    /// A persisted byte stream (checkpoint or WAL) failed its framing or
+    /// checksum validation: the file is truncated, bit-flipped, or not
+    /// what its header claims. Recovery falls back to the previous valid
+    /// checkpoint.
+    Corrupt {
+        /// Which framed section failed (`"magic"`, `"edges"`, `"labels"`,
+        /// `"wal-record"`, ...).
+        section: String,
+        /// What exactly failed (length mismatch, CRC mismatch, ...).
+        detail: String,
+    },
+    /// A serialization problem (unknown format version, unsupported
+    /// field value) — the bytes are well-formed but unusable.
     Serial(String),
     /// A degenerate configuration rejected by
     /// [`CscConfig::validate`](crate::CscConfig::validate).
     Config(String),
+}
+
+impl CscError {
+    /// Shorthand for a [`CscError::Corrupt`] with owned strings.
+    pub fn corrupt(section: impl Into<String>, detail: impl Into<String>) -> Self {
+        CscError::Corrupt {
+            section: section.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for a [`CscError::Poisoned`] with an owned detail.
+    pub fn poisoned(detail: impl Into<String>) -> Self {
+        CscError::Poisoned {
+            detail: detail.into(),
+        }
+    }
 }
 
 impl fmt::Display for CscError {
@@ -26,10 +61,13 @@ impl fmt::Display for CscError {
         match self {
             CscError::Graph(e) => write!(f, "graph error: {e}"),
             CscError::Labeling(e) => write!(f, "labeling error: {e}"),
-            CscError::Poisoned => write!(
+            CscError::Poisoned { detail } => write!(
                 f,
-                "index is poisoned by an earlier failed update; rebuild it"
+                "index is poisoned ({detail}); recover or rebuild it before writing"
             ),
+            CscError::Corrupt { section, detail } => {
+                write!(f, "corrupt {section}: {detail}")
+            }
             CscError::Serial(msg) => write!(f, "serialization error: {msg}"),
             CscError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
@@ -68,9 +106,14 @@ mod tests {
         let e: CscError = GraphError::SelfLoop(VertexId(1)).into();
         assert!(e.to_string().contains("self-loop"));
         assert!(std::error::Error::source(&e).is_some());
-        assert!(CscError::Poisoned.to_string().contains("rebuild"));
+        let p = CscError::poisoned("panic in apply_batch: boom");
+        assert!(p.to_string().contains("boom"), "{p}");
+        assert!(p.to_string().contains("recover"), "{p}");
         assert!(CscError::Serial("bad magic".into())
             .to_string()
             .contains("bad magic"));
+        let c = CscError::corrupt("labels", "crc mismatch");
+        assert_eq!(c.to_string(), "corrupt labels: crc mismatch");
+        assert!(matches!(c, CscError::Corrupt { .. }));
     }
 }

@@ -1,0 +1,162 @@
+//! Deterministic fault injection for crash-recovery testing.
+//!
+//! The write path, checkpointing, WAL appends, rejuvenation chunks, and
+//! recovery itself are instrumented with named `faultpoint!(..)` hooks.
+//! Without the `fault-injection` feature the macro compiles to nothing —
+//! zero cost in production builds. With the feature, each hook reports to
+//! the registry in this module, which a test can *arm* to panic at an
+//! exact hit — simulating a crash at that precise point (the in-memory
+//! state is torn down by the unwind; the on-disk files are left exactly
+//! as a killed process would leave them, including half-written records).
+//!
+//! The crash-recovery property tests use the two-pass scheme this
+//! enables: run a trace once unarmed while counting hits, then rerun it
+//! once per interesting hit index with [`arm_global`] set to that index,
+//! recover from the files the "crash" left behind, and prove equivalence
+//! against the oracle.
+//!
+//! All state is process-global and the engine is single-threaded, so
+//! tests that arm faults must serialize themselves on [`test_lock`].
+
+#![cfg(feature = "fault-injection")]
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+struct Registry {
+    /// Total faultpoint hits since the last [`reset`].
+    total: u64,
+    /// Panic when `total` reaches this value (1-based), regardless of
+    /// which point is hit.
+    global_trigger: Option<u64>,
+    /// Per-point countdowns: panic when the named point's counter
+    /// reaches zero.
+    per_point: HashMap<String, u64>,
+    /// Hits per point since the last [`reset`] (for tests that want to
+    /// target one phase).
+    seen: HashMap<String, u64>,
+}
+
+fn registry() -> MutexGuard<'static, Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| {
+            Mutex::new(Registry {
+                total: 0,
+                global_trigger: None,
+                per_point: HashMap::new(),
+                seen: HashMap::new(),
+            })
+        })
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Serializes fault-arming tests: the registry is process-global, so two
+/// concurrent `#[test]`s arming faults would crash each other. Take this
+/// guard first in every test that calls [`arm`] / [`arm_global`].
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Reports a hit of the named faultpoint; panics if a trigger is armed
+/// for it. Called by the `faultpoint!` macro — not directly.
+pub fn hit(name: &str) {
+    let fire = {
+        let mut reg = registry();
+        reg.total += 1;
+        *reg.seen.entry(name.to_string()).or_insert(0) += 1;
+        let mut fire = reg.global_trigger == Some(reg.total);
+        if let Some(remaining) = reg.per_point.get_mut(name) {
+            *remaining -= 1;
+            if *remaining == 0 {
+                reg.per_point.remove(name);
+                fire = true;
+            }
+        }
+        fire
+    };
+    if fire {
+        panic!("faultpoint '{name}' fired (injected crash)");
+    }
+}
+
+/// Arms the named point to panic on its `nth` hit from now (1-based).
+pub fn arm(name: &str, nth: u64) {
+    assert!(nth >= 1, "nth is 1-based");
+    registry().per_point.insert(name.to_string(), nth);
+}
+
+/// Arms a global trigger: panic at the `nth` faultpoint hit from now
+/// (1-based), whichever point it lands on. This is what the
+/// crash-at-any-point property tests use.
+pub fn arm_global(nth: u64) {
+    assert!(nth >= 1, "nth is 1-based");
+    let mut reg = registry();
+    let base = reg.total;
+    reg.global_trigger = Some(base + nth);
+}
+
+/// Disarms everything and zeroes the counters.
+pub fn reset() {
+    let mut reg = registry();
+    reg.total = 0;
+    reg.global_trigger = None;
+    reg.per_point.clear();
+    reg.seen.clear();
+}
+
+/// Total hits since the last [`reset`] — the sample space for
+/// [`arm_global`].
+pub fn total_hits() -> u64 {
+    registry().total
+}
+
+/// Hits of one named point since the last [`reset`].
+pub fn hits(name: &str) -> u64 {
+    registry().seen.get(name).copied().unwrap_or(0)
+}
+
+/// Swallows panic-hook output for the duration of a closure expected to
+/// panic (injected crashes are intentional; a backtrace per proptest
+/// case would drown the test log), returning the caught panic payload's
+/// message if it panicked.
+pub fn quiet_catch<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    std::panic::set_hook(prev);
+    result.map_err(|payload| crate::maintain::panic_message(&*payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_and_fire() {
+        let _guard = test_lock();
+        reset();
+        hit("a");
+        assert_eq!(total_hits(), 1);
+        assert_eq!(hits("a"), 1);
+
+        arm("b", 2);
+        hit("b"); // first hit: armed for the second
+        let err = quiet_catch(|| hit("b")).unwrap_err();
+        assert!(err.contains("faultpoint 'b' fired"), "{err}");
+
+        reset();
+        arm_global(3);
+        hit("x");
+        hit("y");
+        let err = quiet_catch(|| hit("z")).unwrap_err();
+        assert!(err.contains("'z'"), "{err}");
+        // The trigger is one-shot.
+        hit("z");
+        reset();
+    }
+}

@@ -36,7 +36,9 @@ pub struct CscIndex {
     pub(crate) config: CscConfig,
     pub(crate) stats: IndexStats,
     pub(crate) baseline: HealthBaseline,
-    pub(crate) poisoned: bool,
+    /// `Some(detail)` after a failed update or a caught panic left the
+    /// label state inconsistent; writes refuse until recovery.
+    pub(crate) poisoned: Option<String>,
     pub(crate) workspace: CoupleBfs,
     /// Pooled endpoint-sweep maps and the shared bucket queue for the
     /// dynamic repair paths (never cloned or serialized — scratch only).
@@ -53,7 +55,7 @@ impl Clone for CscIndex {
             config: self.config,
             stats: self.stats.clone(),
             baseline: self.baseline,
-            poisoned: self.poisoned,
+            poisoned: self.poisoned.clone(),
             workspace: CoupleBfs::new(self.gb.graph().vertex_count()),
             sweeps: TraversalWorkspace::new(self.gb.graph().vertex_count()),
         }
@@ -66,7 +68,7 @@ impl std::fmt::Debug for CscIndex {
             .field("vertices", &self.original_vertex_count())
             .field("edges", &self.original_edge_count())
             .field("entries", &self.total_entries())
-            .field("poisoned", &self.poisoned)
+            .field("poisoned", &self.poisoned.is_some())
             .finish()
     }
 }
@@ -117,7 +119,7 @@ impl CscIndex {
             config,
             stats,
             baseline,
-            poisoned: false,
+            poisoned: None,
             workspace: CoupleBfs::new(n),
             sweeps: TraversalWorkspace::new(n),
         })
@@ -297,14 +299,25 @@ impl CscIndex {
 
     /// `true` if an earlier failed update left the index inconsistent.
     pub fn is_poisoned(&self) -> bool {
-        self.poisoned
+        self.poisoned.is_some()
+    }
+
+    /// Why the index is poisoned, if it is (the failed operation or the
+    /// caught panic message).
+    pub fn poison_detail(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    /// Marks the index poisoned with a reason; subsequent writes return
+    /// [`CscError::Poisoned`] until recovery clears it.
+    pub(crate) fn poison(&mut self, detail: impl Into<String>) {
+        self.poisoned = Some(detail.into());
     }
 
     pub(crate) fn check_ready(&self) -> Result<(), CscError> {
-        if self.poisoned {
-            Err(CscError::Poisoned)
-        } else {
-            Ok(())
+        match &self.poisoned {
+            Some(detail) => Err(CscError::poisoned(detail.clone())),
+            None => Ok(()),
         }
     }
 }
@@ -478,17 +491,24 @@ mod tests {
     fn poisoned_index_refuses_every_operation() {
         let g = directed_cycle(3);
         let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
-        idx.poisoned = true; // simulate a failed mid-update state
+        idx.poison("simulated failed mid-update state");
         assert!(idx.is_poisoned());
+        assert_eq!(
+            idx.poison_detail(),
+            Some("simulated failed mid-update state")
+        );
         assert!(matches!(
             idx.insert_edge(VertexId(0), VertexId(2)),
-            Err(crate::CscError::Poisoned)
+            Err(crate::CscError::Poisoned { .. })
         ));
         assert!(matches!(
             idx.remove_edge(VertexId(0), VertexId(1)),
-            Err(crate::CscError::Poisoned)
+            Err(crate::CscError::Poisoned { .. })
         ));
-        assert!(matches!(idx.to_bytes(), Err(crate::CscError::Poisoned)));
+        assert!(matches!(
+            idx.to_bytes(),
+            Err(crate::CscError::Poisoned { .. })
+        ));
         // Queries still work (documented: reads may be stale, writes fail).
         let _ = idx.query(VertexId(0));
     }

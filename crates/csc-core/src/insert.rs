@@ -63,7 +63,7 @@ impl CscIndex {
         let (ao, bi) = self.gb.insert_original_edge(a, b)?;
         let mut report = UpdateReport::default();
         if let Err(e) = self.inccnt(ao, bi, &mut report) {
-            self.poisoned = true;
+            self.poison(format!("label overflow during insert_edge({a}, {b}): {e}"));
             return Err(e.into());
         }
         report.duration = start.elapsed();

@@ -38,14 +38,31 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Fires a named fault-injection point. Compiles to nothing unless the
+/// `fault-injection` feature is on; with it, the hook reports to
+/// [`fault`]'s registry, which tests arm to simulate a crash (panic) at
+/// an exact instrumented spot.
+macro_rules! faultpoint {
+    ($name:expr) => {
+        #[cfg(feature = "fault-injection")]
+        {
+            $crate::fault::hit($name);
+        }
+    };
+}
+
 pub mod analytics;
 pub mod batch;
 mod build;
 mod clean;
 pub mod concurrent;
 pub mod config;
+mod crc;
 mod delete;
 pub mod error;
+/// Deterministic fault injection (empty without the `fault-injection`
+/// feature — see the module docs when it is enabled).
+pub mod fault;
 pub mod health;
 mod index;
 mod insert;
@@ -57,16 +74,21 @@ pub mod serial;
 pub mod snapshot;
 pub mod stats;
 pub mod verify;
+pub mod wal;
 
 pub use batch::{BatchReport, GraphUpdate};
 pub use concurrent::ConcurrentIndex;
-pub use config::{CscConfig, UpdateStrategy};
+pub use config::{CscConfig, DurabilityConfig, FsyncPolicy, UpdateStrategy};
 pub use error::CscError;
 pub use health::{HealthBaseline, IndexHealth, RebuildPolicy, RebuildReason};
 pub use index::CscIndex;
-pub use maintain::{MaintenanceEngine, MaintenanceStats, MaintenanceStatus, RejuvenationReport};
+pub use maintain::{
+    MaintenanceEngine, MaintenanceStats, MaintenanceStatus, RecoveryReport, RejuvenationReport,
+};
 pub use snapshot::SnapshotIndex;
 pub use stats::{IndexStats, SnapshotStats, UpdateReport};
+pub use verify::IntegrityReport;
+pub use wal::{WalOpenReport, WalRecord, WriteAheadLog};
 
 // Re-exported so downstream users need only this crate for common work.
 pub use csc_labeling::{CycleCount, FrozenLabels, LabelStore};

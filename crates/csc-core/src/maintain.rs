@@ -3,8 +3,7 @@
 //! Before this module, the write side of the system was four ad-hoc
 //! paths — single-op insert/delete, [`apply_batch`](CscIndex::apply_batch),
 //! the snapshot refreeze/compaction policy, and (missing entirely) a full
-//! rebuild. [`MaintenanceEngine`] unifies them behind a three-state
-//! machine:
+//! rebuild. [`MaintenanceEngine`] unifies them behind one state machine:
 //!
 //! ```text
 //!            writes apply directly, snapshots refreeze incrementally
@@ -20,6 +19,13 @@
 //!           (write-ahead),    chunked BFS)        queue drains in
 //!           readers serve                         batches onto the
 //!           the old state                         rejuvenated index
+//!
+//!   any state ──panic caught──► ┌──────────┐  recover_in_place  ┌────────────┐
+//!   (write path, rebuild chunk, │ Degraded │ ──────────────────►│ Recovering │
+//!    queue replay)              └──────────┘                    └──────┬─────┘
+//!     writes refused (Poisoned),  readers keep                        │ swap
+//!     last published snapshot     answering                           ▼
+//!     still serves                                                 Serving
 //! ```
 //!
 //! **Rejuvenation** exists because dynamic maintenance preserves
@@ -52,10 +58,27 @@ use crate::index::CscIndex;
 use crate::invert::InvertedIndex;
 use crate::snapshot::SnapshotIndex;
 use crate::stats::UpdateReport;
+use crate::verify::check_integrity;
+use crate::wal::{self, WriteAheadLog};
 use csc_graph::{Csr, RankTable, VertexId};
 use csc_labeling::BuildStats;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+/// Renders a caught panic payload as a human-readable message (panics
+/// raised with `panic!("...")` carry a `&str` or `String`; anything else
+/// is opaque).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Replay drains at most this many queued updates per
 /// [`step`](MaintenanceEngine::step), so one step stays bounded even
@@ -86,6 +109,18 @@ pub enum MaintenanceStatus {
         /// Updates still waiting in the replay queue.
         queued: usize,
     },
+    /// A write-path panic (or a failed post-swap integrity check) tore
+    /// the live index. Writes are refused with [`CscError::Poisoned`];
+    /// readers keep being served the last published snapshot. Leave via
+    /// [`recover_in_place`](MaintenanceEngine::recover_in_place) (or
+    /// [`ConcurrentIndex::recover`](crate::ConcurrentIndex::recover)).
+    Degraded,
+    /// A recovery is rebuilding the index from checkpoint + WAL (or from
+    /// the live graph) before atomically swapping it back in. Reported
+    /// by the concurrent facade while
+    /// [`recover`](crate::ConcurrentIndex::recover) runs; readers keep
+    /// the last published snapshot throughout.
+    Recovering,
 }
 
 /// Counters for the engine's lifetime.
@@ -104,6 +139,44 @@ pub struct MaintenanceStats {
     pub rebuild_steps: usize,
     /// Why the most recent rejuvenation started.
     pub last_reason: Option<RebuildReason>,
+    /// Times the engine entered the `Degraded` state (write-path panic
+    /// or failed integrity check).
+    pub degradations: u32,
+    /// Successful recoveries back to `Serving`.
+    pub recoveries: u32,
+}
+
+/// What a recovery ([`MaintenanceEngine::recover`] /
+/// [`recover_in_place`](MaintenanceEngine::recover_in_place)) did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Sequence number of the checkpoint the recovery started from
+    /// (`0` with no WAL-backed durability — the index was rebuilt from
+    /// the live graph instead).
+    pub checkpoint_seq: u64,
+    /// Newer checkpoint generations that were skipped as unreadable
+    /// (torn or bit-flipped) before one loaded.
+    pub checkpoints_skipped: usize,
+    /// WAL records (update windows) replayed on top of the checkpoint.
+    pub records_replayed: usize,
+    /// Individual updates contained in those windows (or, without
+    /// durability, replayed from the in-memory queue).
+    pub updates_replayed: usize,
+    /// Bytes of torn tail / trailing corruption dropped from the WAL.
+    pub wal_truncated_bytes: u64,
+    /// Whether the post-recovery [`check_integrity`] sweep ran (it is
+    /// gated by [`DurabilityConfig::check_integrity`](crate::DurabilityConfig)).
+    pub integrity_checked: bool,
+}
+
+/// The engine's attachment to a durability directory: the live
+/// write-ahead log plus checkpoint bookkeeping.
+struct Durability {
+    dir: PathBuf,
+    wal: WriteAheadLog,
+    /// Update windows logged since the last checkpoint; compared against
+    /// [`DurabilityConfig::checkpoint_every`](crate::DurabilityConfig).
+    windows_since_checkpoint: u32,
 }
 
 /// What one completed rejuvenation did.
@@ -166,6 +239,13 @@ pub struct MaintenanceEngine {
     /// Set at every swap: the next publication must be a full freeze (the
     /// previous published snapshot addresses the *old* label store).
     full_freeze_pending: bool,
+    /// `Some(detail)` after a write-path panic (or failed integrity
+    /// check): the engine refuses writes and publication until
+    /// [`recover_in_place`](Self::recover_in_place).
+    degraded: Option<String>,
+    /// WAL + checkpoint attachment; `None` runs the engine exactly as
+    /// before the durability plane existed.
+    durability: Option<Durability>,
     stats: MaintenanceStats,
 }
 
@@ -179,6 +259,8 @@ impl MaintenanceEngine {
             replay: VecDeque::new(),
             queued_vertices: 0,
             full_freeze_pending: false,
+            degraded: None,
+            durability: None,
             stats: MaintenanceStats::default(),
         }
     }
@@ -204,8 +286,33 @@ impl MaintenanceEngine {
         self.rebuild.is_some()
     }
 
+    /// `true` after a write-path panic degraded the engine; writes are
+    /// refused until [`recover_in_place`](Self::recover_in_place).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.is_some()
+    }
+
+    /// Why the engine is degraded, when it is.
+    pub fn degraded_detail(&self) -> Option<&str> {
+        self.degraded.as_deref()
+    }
+
+    /// `true` when a durability directory is attached (writes are
+    /// WAL-logged and periodically checkpointed).
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The attached durability directory, if any.
+    pub fn durability_dir(&self) -> Option<&Path> {
+        self.durability.as_ref().map(|d| d.dir.as_path())
+    }
+
     /// Where the state machine currently is.
     pub fn status(&self) -> MaintenanceStatus {
+        if self.degraded.is_some() {
+            return MaintenanceStatus::Degraded;
+        }
         match &self.rebuild {
             None => MaintenanceStatus::Serving,
             Some(task) if !task.labels_done => MaintenanceStatus::Rebuilding {
@@ -239,11 +346,15 @@ impl MaintenanceEngine {
         a: VertexId,
         b: VertexId,
     ) -> Result<Option<UpdateReport>, CscError> {
+        self.check_writable()?;
+        self.log_window(&[GraphUpdate::InsertEdge(a, b)])?;
         if self.is_rebuilding() {
             self.enqueue(GraphUpdate::InsertEdge(a, b));
             return Ok(None);
         }
-        self.index.insert_edge(a, b).map(Some)
+        let report = self.protected("insert_edge", |idx| idx.insert_edge(a, b))?;
+        self.maybe_checkpoint()?;
+        Ok(Some(report))
     }
 
     /// Removes an edge; same serving/queued split as
@@ -253,24 +364,38 @@ impl MaintenanceEngine {
         a: VertexId,
         b: VertexId,
     ) -> Result<Option<UpdateReport>, CscError> {
+        self.check_writable()?;
+        self.log_window(&[GraphUpdate::RemoveEdge(a, b)])?;
         if self.is_rebuilding() {
             self.enqueue(GraphUpdate::RemoveEdge(a, b));
             return Ok(None);
         }
-        self.index.remove_edge(a, b).map(Some)
+        let report = self.protected("remove_edge", |idx| idx.remove_edge(a, b))?;
+        self.maybe_checkpoint()?;
+        Ok(Some(report))
     }
 
     /// Appends a fresh vertex and returns its id. During a rebuild window
     /// the op is queued and the returned id is *virtual* — it is the id
     /// the replay will create (current count plus queued `AddVertex`
     /// ops), so later queued edge ops may reference it.
-    pub fn add_vertex(&mut self) -> VertexId {
+    ///
+    /// # Errors
+    ///
+    /// A degraded engine refuses the write; with durability attached a
+    /// failed WAL append does too (the op must be logged before it
+    /// exists).
+    pub fn add_vertex(&mut self) -> Result<VertexId, CscError> {
+        self.check_writable()?;
+        self.log_window(&[GraphUpdate::AddVertex])?;
         if self.is_rebuilding() {
             let v = VertexId((self.index.original_vertex_count() + self.queued_vertices) as u32);
             self.enqueue(GraphUpdate::AddVertex);
-            return v;
+            return Ok(v);
         }
-        self.index.add_vertex()
+        let v = self.protected("add_vertex", |idx| Ok(idx.add_vertex()))?;
+        self.maybe_checkpoint()?;
+        Ok(v)
     }
 
     /// Applies a whole update window. While serving this is
@@ -279,6 +404,10 @@ impl MaintenanceEngine {
     /// [`updates_submitted`](BatchReport::updates_submitted) and
     /// [`queued`](BatchReport::queued).
     pub fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Result<BatchReport, CscError> {
+        self.check_writable()?;
+        if !updates.is_empty() {
+            self.log_window(updates)?;
+        }
         if self.is_rebuilding() {
             for &u in updates {
                 self.enqueue(u);
@@ -289,7 +418,9 @@ impl MaintenanceEngine {
                 ..Default::default()
             });
         }
-        self.index.apply_batch(updates)
+        let report = self.protected("apply_batch", |idx| idx.apply_batch(updates))?;
+        self.maybe_checkpoint()?;
+        Ok(report)
     }
 
     fn enqueue(&mut self, update: GraphUpdate) {
@@ -297,6 +428,156 @@ impl MaintenanceEngine {
             self.queued_vertices += 1;
         }
         self.replay.push_back(update);
+    }
+
+    /// A degraded engine refuses every write until recovery.
+    fn check_writable(&self) -> Result<(), CscError> {
+        match &self.degraded {
+            Some(detail) => Err(CscError::poisoned(detail.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Runs a write-path operation under `catch_unwind`. A panic
+    /// poisons the index (its in-memory invariants may be torn
+    /// mid-repair) and degrades the engine: subsequent writes are
+    /// refused, while readers keep whatever snapshot they were last
+    /// published. An `Err` that left the index poisoned (label-capacity
+    /// overflow mid-repair) degrades the same way.
+    fn protected<R>(
+        &mut self,
+        op: &str,
+        f: impl FnOnce(&mut CscIndex) -> Result<R, CscError>,
+    ) -> Result<R, CscError> {
+        let index = &mut self.index;
+        match catch_unwind(AssertUnwindSafe(|| f(index))) {
+            Ok(Ok(r)) => Ok(r),
+            Ok(Err(e)) => {
+                if self.index.is_poisoned() && self.degraded.is_none() {
+                    self.degrade(
+                        self.index
+                            .poison_detail()
+                            .unwrap_or("write failure")
+                            .to_string(),
+                    );
+                }
+                Err(e)
+            }
+            Err(payload) => {
+                let detail = format!("panic during {op}: {}", panic_message(&*payload));
+                self.index.poison(detail.clone());
+                self.degrade(detail.clone());
+                Err(CscError::poisoned(detail))
+            }
+        }
+    }
+
+    fn degrade(&mut self, detail: String) {
+        self.degraded = Some(detail);
+        self.stats.degradations += 1;
+    }
+
+    /// Write-ahead: appends the window to the WAL (when attached)
+    /// *before* it is applied or queued. Failure refuses the write — an
+    /// op the log cannot reconstruct must not exist.
+    fn log_window(&mut self, window: &[GraphUpdate]) -> Result<(), CscError> {
+        let Some(d) = self.durability.as_mut() else {
+            return Ok(());
+        };
+        let seq = d.wal.last_seq() + 1;
+        d.wal.append(seq, window)?;
+        d.windows_since_checkpoint += 1;
+        Ok(())
+    }
+
+    /// Checkpoints when the cadence says so. Deferred while a
+    /// rejuvenation is in flight: queued (logged but unapplied) windows
+    /// must stay in the WAL suffix, and rotating the log at a checkpoint
+    /// would drop them.
+    fn maybe_checkpoint(&mut self) -> Result<(), CscError> {
+        if self.degraded.is_some() || self.is_rebuilding() {
+            return Ok(());
+        }
+        let Some(d) = self.durability.as_ref() else {
+            return Ok(());
+        };
+        if d.windows_since_checkpoint >= self.index.config().durability.checkpoint_every {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Writes a checkpoint of the live index now (atomic
+    /// temp-write-and-rename), rotates the WAL behind it, and prunes old
+    /// generations. Returns the covered sequence number, or `None` when
+    /// skipped — no durability attached, or a rejuvenation in flight
+    /// (deferred until the replay queue drains, so queued-but-unapplied
+    /// writes always stay inside the WAL suffix a recovery would replay).
+    pub fn checkpoint(&mut self) -> Result<Option<u64>, CscError> {
+        if self.durability.is_none() || self.is_rebuilding() {
+            return Ok(None);
+        }
+        let bytes = self.index.to_bytes()?;
+        let keep = self.index.config().durability.keep_checkpoints as usize;
+        let d = self.durability.as_mut().expect("checked above");
+        let seq = d.wal.last_seq();
+        wal::write_checkpoint(&d.dir, seq, &bytes)?;
+        d.wal.rotate(seq)?;
+        d.windows_since_checkpoint = 0;
+        wal::prune_checkpoints(&d.dir, keep);
+        Ok(Some(seq))
+    }
+
+    /// Attaches a durability directory: writes an initial checkpoint of
+    /// the current index and opens a fresh WAL behind it, so every
+    /// subsequent write is logged before it applies and
+    /// [`recover`](Self::recover) can reconstruct the index after a
+    /// crash. Returns the initial checkpoint's sequence number.
+    ///
+    /// To *resume* from an existing directory, use
+    /// [`recover`](Self::recover) instead — attaching starts a new
+    /// checkpoint generation above whatever the directory already holds.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a poisoned index, during a rejuvenation window (the
+    /// in-memory replay queue predates the log and could not be
+    /// recovered), or on I/O errors.
+    pub fn attach_durability(&mut self, dir: impl AsRef<Path>) -> Result<u64, CscError> {
+        let dir = dir.as_ref();
+        self.check_writable()?;
+        self.index.check_ready()?;
+        if self.is_rebuilding() {
+            return Err(CscError::Config(
+                "attach_durability during a rejuvenation window: the queued updates predate the log; finish the rejuvenation first".into(),
+            ));
+        }
+        std::fs::create_dir_all(dir).map_err(|e| {
+            CscError::corrupt(
+                "checkpoint",
+                format!("cannot create {}: {e}", dir.display()),
+            )
+        })?;
+        // Start above any leftover generation so stale files can never
+        // shadow this engine's checkpoints on a later recovery.
+        let seq = wal::list_checkpoints(dir).first().map_or(0, |(s, _)| s + 1);
+        let bytes = self.index.to_bytes()?;
+        wal::write_checkpoint(dir, seq, &bytes)?;
+        let log = WriteAheadLog::create(
+            &dir.join(wal::WAL_FILE),
+            seq,
+            self.index.config().durability.fsync,
+        )?;
+        wal::prune_checkpoints(
+            dir,
+            self.index.config().durability.keep_checkpoints as usize,
+        );
+        self.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            wal: log,
+            windows_since_checkpoint: 0,
+        });
+        Ok(seq)
     }
 
     /// Starts a rejuvenation: captures fresh ranks (recomputed from the
@@ -376,29 +657,68 @@ impl MaintenanceEngine {
     /// counts it). An overflow during *replay* poisons the index exactly
     /// like a failed [`apply_batch`](CscIndex::apply_batch).
     pub fn step(&mut self, rank_budget: usize) -> Result<MaintenanceStatus, CscError> {
+        self.check_writable()?;
         let Some(task) = self.rebuild.as_mut() else {
             return Ok(MaintenanceStatus::Serving);
         };
         self.stats.rebuild_steps += 1;
         if !task.labels_done {
-            match task.build.advance(&task.csr, &task.ranks, rank_budget) {
-                Ok(true) => {
+            faultpoint!("rebuild.advance");
+            let advanced = catch_unwind(AssertUnwindSafe(|| {
+                task.build.advance(&task.csr, &task.ranks, rank_budget)
+            }));
+            match advanced {
+                Ok(Ok(true)) => {
                     task.labels_done = true;
                     self.swap_rebuilt();
+                    self.integrity_check_after("rejuvenation swap")?;
                 }
-                Ok(false) => {}
-                Err(e) => {
+                Ok(Ok(false)) => {}
+                Ok(Err(e)) => {
                     // Abandon: the old index is untouched and fully valid.
                     self.rebuild = None;
                     self.stats.rejuvenations_failed += 1;
                     self.drain_replay_onto_current()?;
                     return Err(e.into());
                 }
+                Err(payload) => {
+                    // The live index is actually untouched here, but the
+                    // replay queue's relationship to it is now suspect;
+                    // degrade and let recovery re-establish it.
+                    let detail = format!(
+                        "panic during rejuvenation build: {}",
+                        panic_message(&*payload)
+                    );
+                    self.index.poison(detail.clone());
+                    self.degrade(detail.clone());
+                    return Err(CscError::poisoned(detail));
+                }
             }
         } else {
+            faultpoint!("replay.chunk");
             self.replay_chunk()?;
         }
+        if !self.is_rebuilding() {
+            // The queue just drained: take the checkpoint that was
+            // deferred for the whole rejuvenation window.
+            self.maybe_checkpoint()?;
+        }
         Ok(self.status())
+    }
+
+    /// Runs the config-gated structural sweep after a swap or recovery,
+    /// degrading the engine instead of serving a broken index.
+    fn integrity_check_after(&mut self, what: &str) -> Result<(), CscError> {
+        if !self.index.config().durability.check_integrity {
+            return Ok(());
+        }
+        if let Err(e) = check_integrity(&self.index) {
+            let detail = format!("integrity check failed after {what}: {e}");
+            self.index.poison(detail.clone());
+            self.degrade(detail.clone());
+            return Err(CscError::poisoned(detail));
+        }
+        Ok(())
     }
 
     /// Runs an in-flight (or, with `reason`, a fresh) rejuvenation to
@@ -461,7 +781,7 @@ impl MaintenanceEngine {
                 vertices: 0,
                 rejuvenations: 0,
             },
-            poisoned: false,
+            poisoned: None,
             workspace: CoupleBfs::new(n),
             // Reuse the retired index's pooled sweep maps and bucket
             // queue: they are graph-shape scratch, already sized right.
@@ -485,7 +805,7 @@ impl MaintenanceEngine {
             .filter(|u| **u == GraphUpdate::AddVertex)
             .count();
         if !window.is_empty() {
-            self.index.apply_batch(&window)?;
+            self.protected("replay", |idx| idx.apply_batch(&window))?;
             self.stats.updates_replayed += window.len();
         }
         if self.replay.is_empty() {
@@ -526,13 +846,202 @@ impl MaintenanceEngine {
         }
     }
 
+    /// Reconstructs an engine from a durability directory: loads the
+    /// newest *readable* checkpoint (falling back over torn or
+    /// bit-flipped generations), replays the WAL records past it with
+    /// the skip-invalid batch semantics, truncates any torn WAL tail,
+    /// and re-anchors the directory with a fresh checkpoint + log. The
+    /// returned engine is `Serving` with durability attached.
+    ///
+    /// # Errors
+    ///
+    /// * [`CscError::Corrupt`] — no readable checkpoint, or the WAL
+    ///   provably continues from a checkpoint newer than any readable
+    ///   one (the windows in between are unrecoverable; refusing loudly
+    ///   beats silently serving a stale state).
+    /// * [`CscError::Poisoned`] — replay itself panicked or overflowed
+    ///   label capacity (the on-disk state stays untouched for another
+    ///   attempt).
+    pub fn recover(dir: impl AsRef<Path>) -> Result<(Self, RecoveryReport), CscError> {
+        let dir = dir.as_ref();
+        faultpoint!("recover.begin");
+        let ckpts = wal::list_checkpoints(dir);
+        if ckpts.is_empty() {
+            return Err(CscError::corrupt(
+                "recovery",
+                format!("no checkpoint found in {}", dir.display()),
+            ));
+        }
+        let mut skipped = 0usize;
+        let mut loaded: Option<(u64, CscIndex)> = None;
+        for (seq, path) in &ckpts {
+            match wal::read_file(path).and_then(|b| CscIndex::from_bytes(&b)) {
+                Ok(idx) => {
+                    loaded = Some((*seq, idx));
+                    break;
+                }
+                Err(_) => skipped += 1,
+            }
+        }
+        let Some((ckpt_seq, mut index)) = loaded else {
+            return Err(CscError::corrupt(
+                "recovery",
+                format!(
+                    "all {} checkpoint generations in {} are unreadable",
+                    ckpts.len(),
+                    dir.display()
+                ),
+            ));
+        };
+
+        // The WAL suffix: records with a sequence past the checkpoint.
+        let wal_path = dir.join(wal::WAL_FILE);
+        let mut records = Vec::new();
+        let mut truncated = 0u64;
+        if wal_path.exists() {
+            match WriteAheadLog::read_all(&wal_path) {
+                Ok((base, recs, rep)) => {
+                    if base > ckpt_seq {
+                        return Err(CscError::corrupt(
+                            "recovery",
+                            format!(
+                                "the log continues from checkpoint {base}, but the newest \
+                                 readable checkpoint is {ckpt_seq}: the windows in between \
+                                 are unrecoverable"
+                            ),
+                        ));
+                    }
+                    truncated = rep.truncated_bytes;
+                    records = recs;
+                    records.retain(|r| r.seq > ckpt_seq);
+                }
+                Err(CscError::Corrupt { .. }) => {
+                    // A destroyed header — e.g. a crash between the
+                    // checkpoint rename and the log rotation, which
+                    // leaves a truncated file. Everything the log held
+                    // is covered by the checkpoint; count the file as
+                    // dropped so the report is honest about it.
+                    truncated = std::fs::metadata(&wal_path).map_or(0, |m| m.len());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        let mut updates_replayed = 0usize;
+        let mut last_seq = ckpt_seq;
+        for record in &records {
+            faultpoint!("recover.replay");
+            match catch_unwind(AssertUnwindSafe(|| index.apply_batch(&record.updates))) {
+                Ok(Ok(_)) => {}
+                Ok(Err(e)) => return Err(e),
+                Err(payload) => {
+                    return Err(CscError::poisoned(format!(
+                        "panic while replaying the log during recovery: {}",
+                        panic_message(&*payload)
+                    )));
+                }
+            }
+            updates_replayed += record.updates.len();
+            last_seq = record.seq;
+        }
+
+        // Re-anchor: fresh checkpoint of the recovered state, fresh log
+        // behind it. (A crash anywhere in here leaves the previous
+        // checkpoint + full WAL intact — recovery just runs again.)
+        let bytes = index.to_bytes()?;
+        wal::write_checkpoint(dir, last_seq, &bytes)?;
+        let fsync = index.config().durability.fsync;
+        let log = WriteAheadLog::create(&wal_path, last_seq, fsync)?;
+        wal::prune_checkpoints(dir, index.config().durability.keep_checkpoints as usize);
+
+        let mut engine = MaintenanceEngine::new(index);
+        engine.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            wal: log,
+            windows_since_checkpoint: 0,
+        });
+        engine.integrity_check_after("recovery")?;
+        let integrity_checked = engine.index().config().durability.check_integrity;
+        Ok((
+            engine,
+            RecoveryReport {
+                checkpoint_seq: ckpt_seq,
+                checkpoints_skipped: skipped,
+                records_replayed: records.len(),
+                updates_replayed,
+                wal_truncated_bytes: truncated,
+                integrity_checked,
+            },
+        ))
+    }
+
+    /// Recovers a degraded (or merely suspect) engine in place,
+    /// transitioning `Degraded` → `Serving` while the caller's readers
+    /// keep whatever snapshot was last published.
+    ///
+    /// * **With durability attached**: rebuilds from checkpoint + WAL via
+    ///   [`recover`](Self::recover). The in-memory replay queue is
+    ///   *dropped* — every queued op was WAL-logged before it was
+    ///   accepted, and replaying it twice would double-apply
+    ///   (`AddVertex` is not idempotent). Lifetime counters carry over.
+    /// * **Without durability**: rebuilds from the live graph (which
+    ///   mutates *before* label repair, so it is intact even when the
+    ///   labels are torn), then replays the in-memory queue onto it.
+    ///
+    /// After either path the next snapshot publication is forced to be a
+    /// full freeze — the label store is brand new.
+    pub fn recover_in_place(&mut self) -> Result<RecoveryReport, CscError> {
+        if let Some(d) = &self.durability {
+            let dir = d.dir.clone();
+            let stats = self.stats;
+            let (mut fresh, report) = Self::recover(&dir)?;
+            fresh.stats = stats;
+            fresh.stats.recoveries += 1;
+            fresh.full_freeze_pending = true;
+            *self = fresh;
+            return Ok(report);
+        }
+        // Rebuild from the live graph, then replay the queue.
+        let g = self.index.original_graph();
+        let config = *self.index.config();
+        let rebuilt = match catch_unwind(AssertUnwindSafe(|| CscIndex::build(&g, config))) {
+            Ok(r) => r?,
+            Err(payload) => {
+                return Err(CscError::poisoned(format!(
+                    "panic while rebuilding during recovery: {}",
+                    panic_message(&*payload)
+                )));
+            }
+        };
+        self.index = rebuilt;
+        self.rebuild = None;
+        self.degraded = None;
+        self.queued_vertices = 0;
+        let queued: Vec<GraphUpdate> = self.replay.drain(..).collect();
+        let mut updates_replayed = 0usize;
+        for window in queued.chunks(REPLAY_CHUNK) {
+            self.protected("recovery replay", |idx| idx.apply_batch(window))?;
+            updates_replayed += window.len();
+        }
+        self.full_freeze_pending = true;
+        self.integrity_check_after("recovery")?;
+        self.stats.recoveries += 1;
+        Ok(RecoveryReport {
+            updates_replayed,
+            integrity_checked: config.durability.check_integrity,
+            ..RecoveryReport::default()
+        })
+    }
+
     /// Unwraps back into the plain index. An in-flight rebuild is
     /// abandoned (never half-applied): the current index is kept and the
     /// write-ahead queue is replayed onto it, so no accepted write is
     /// lost. If that replay overflows label capacity the returned index is
-    /// poisoned, exactly as a failed `apply_batch` would leave it.
+    /// poisoned, exactly as a failed `apply_batch` would leave it. A
+    /// *degraded* engine's queue is not replayed — the index is poisoned
+    /// and would refuse it; the index is returned as-is for inspection.
     pub fn into_index(mut self) -> CscIndex {
-        if self.is_rebuilding() {
+        if self.is_rebuilding() && !self.is_degraded() {
             self.rebuild = None;
             self.stats.rejuvenations_failed += 1;
             let _ = self.drain_replay_onto_current();
@@ -595,7 +1104,7 @@ mod tests {
         let g = gnm(20, 55, 7);
         let mut engine = MaintenanceEngine::new(CscIndex::build(&g, CscConfig::default()).unwrap());
         for k in 0..4u32 {
-            let nv = engine.add_vertex();
+            let nv = engine.add_vertex().unwrap();
             engine.insert_edge(VertexId(k), nv).unwrap().unwrap();
             engine.insert_edge(nv, VertexId(k + 5)).unwrap().unwrap();
         }
@@ -636,7 +1145,7 @@ mod tests {
         );
 
         // Mid-rebuild writes: all queued, including a virtual-id vertex.
-        let nv = engine.add_vertex();
+        let nv = engine.add_vertex().unwrap();
         assert_eq!(nv, VertexId(18), "virtual id = current n + queued adds");
         assert_eq!(engine.insert_edge(VertexId(0), nv).unwrap(), None);
         assert_eq!(engine.insert_edge(nv, VertexId(1)).unwrap(), None);
@@ -669,9 +1178,9 @@ mod tests {
         );
         let mut engine = MaintenanceEngine::new(CscIndex::build(&g, config).unwrap());
         assert_eq!(engine.maybe_begin(0.0).unwrap(), None);
-        engine.add_vertex();
+        engine.add_vertex().unwrap();
         assert_eq!(engine.maybe_begin(0.0).unwrap(), None, "below threshold");
-        engine.add_vertex();
+        engine.add_vertex().unwrap();
         assert_eq!(engine.maybe_begin(0.0).unwrap(), Some(RebuildReason::Churn));
         assert!(engine.is_rebuilding());
         // Idempotent while in flight.
@@ -732,5 +1241,295 @@ mod tests {
         let report = engine.rejuvenate(RebuildReason::Manual).unwrap();
         assert_eq!(report.entries_after, 0);
         assert_eq!(engine.status(), MaintenanceStatus::Serving);
+    }
+
+    // ---- durability ----------------------------------------------------
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "csc-maintain-test-{}-{tag}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// A durable engine over `gnm(16, 40, seed)` with the given cadence,
+    /// fsync off for test speed.
+    fn durable_engine(dir: &std::path::Path, checkpoint_every: u32) -> MaintenanceEngine {
+        let g = gnm(16, 40, 11);
+        let config = CscConfig::default()
+            .with_fsync(crate::config::FsyncPolicy::Never)
+            .with_checkpoint_every(checkpoint_every)
+            .with_integrity_check(true);
+        let mut engine = MaintenanceEngine::new(CscIndex::build(&g, config).unwrap());
+        engine.attach_durability(dir).unwrap();
+        engine
+    }
+
+    fn churn_windows() -> Vec<Vec<GraphUpdate>> {
+        use GraphUpdate::*;
+        vec![
+            vec![InsertEdge(VertexId(0), VertexId(9)), AddVertex],
+            vec![InsertEdge(VertexId(16), VertexId(3))],
+            vec![InsertEdge(VertexId(5), VertexId(16)), AddVertex],
+            vec![RemoveEdge(VertexId(0), VertexId(9))],
+            vec![
+                InsertEdge(VertexId(17), VertexId(0)),
+                InsertEdge(VertexId(2), VertexId(17)),
+            ],
+        ]
+    }
+
+    #[test]
+    fn recovery_replays_the_wal_suffix() {
+        let dir = temp_dir("wal-suffix");
+        // Cadence far above the write count: everything stays in the WAL.
+        let mut engine = durable_engine(&dir, 1000);
+        for w in churn_windows() {
+            engine.apply_batch(&w).unwrap();
+        }
+        let want = engine.index().original_graph();
+        drop(engine); // "crash": no clean shutdown, no final checkpoint
+
+        let (recovered, report) = MaintenanceEngine::recover(&dir).unwrap();
+        assert_eq!(report.checkpoint_seq, 0, "initial checkpoint only");
+        assert_eq!(report.records_replayed, 5);
+        assert_eq!(report.updates_replayed, 8);
+        assert_eq!(report.wal_truncated_bytes, 0);
+        assert!(report.integrity_checked);
+        assert_eq!(recovered.index().original_graph(), want);
+        assert_eq!(recovered.status(), MaintenanceStatus::Serving);
+        assert!(recovered.is_durable());
+        verify_index(recovered.index()).unwrap();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_cadence_rotates_the_log() {
+        let dir = temp_dir("cadence");
+        let mut engine = durable_engine(&dir, 2);
+        for w in churn_windows() {
+            engine.apply_batch(&w).unwrap();
+        }
+        let want = engine.index().original_graph();
+        drop(engine);
+
+        let (recovered, report) = MaintenanceEngine::recover(&dir).unwrap();
+        // 5 windows at cadence 2: checkpoints after windows 2 and 4, so
+        // recovery loads seq 4 and replays only window 5.
+        assert_eq!(report.checkpoint_seq, 4);
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(recovered.index().original_graph(), want);
+        verify_index(recovered.index()).unwrap();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn torn_wal_tail_is_dropped_and_reported() {
+        let dir = temp_dir("torn-tail");
+        let mut engine = durable_engine(&dir, 1000);
+        for w in churn_windows() {
+            engine.apply_batch(&w).unwrap();
+        }
+        drop(engine);
+        // Tear the tail: chop the last 5 bytes off the final record, as a
+        // crash mid-append would.
+        let wal_path = dir.join(wal::WAL_FILE);
+        let bytes = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let (recovered, report) = MaintenanceEngine::recover(&dir).unwrap();
+        assert_eq!(report.records_replayed, 4, "the torn final record is gone");
+        assert!(report.wal_truncated_bytes > 0);
+        // The recovered state is the acknowledged prefix: windows 1-4.
+        let mut sim = gnm(16, 40, 11);
+        for w in churn_windows().iter().take(4).flatten() {
+            match *w {
+                GraphUpdate::InsertEdge(a, b) => {
+                    sim.try_add_edge(a, b).unwrap();
+                }
+                GraphUpdate::RemoveEdge(a, b) => {
+                    sim.try_remove_edge(a, b).unwrap();
+                }
+                GraphUpdate::AddVertex => {
+                    sim.add_vertex();
+                }
+            }
+        }
+        assert_eq!(recovered.index().original_graph(), sim);
+        verify_index(recovered.index()).unwrap();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn bit_rotted_newest_checkpoint_refuses_loudly_when_the_log_moved_past() {
+        let dir = temp_dir("bitrot-gap");
+        let mut engine = durable_engine(&dir, 2);
+        for w in churn_windows() {
+            engine.apply_batch(&w).unwrap();
+        }
+        drop(engine);
+        // Flip a byte in the newest checkpoint. The WAL was rotated at its
+        // seq, so the older generation cannot cover the gap — recovery
+        // must refuse rather than silently serve a stale state.
+        let (_, newest) = wal::list_checkpoints(&dir).into_iter().next().unwrap();
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let err = match MaintenanceEngine::recover(&dir) {
+            Err(e) => e,
+            Ok(_) => panic!("recovery over the gap must refuse"),
+        };
+        assert!(
+            matches!(err, CscError::Corrupt { .. }),
+            "want Corrupt, got {err:?}"
+        );
+        assert!(err.to_string().contains("unrecoverable"), "{err}");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_falls_back_over_a_corrupt_generation_when_the_log_allows() {
+        let dir = temp_dir("fallback");
+        let mut engine = durable_engine(&dir, 1000);
+        engine
+            .apply_batch(&[GraphUpdate::InsertEdge(VertexId(0), VertexId(9))])
+            .unwrap();
+        engine.checkpoint().unwrap(); // generation at seq 1
+        let want = engine.index().original_graph();
+        drop(engine);
+        // Corrupt the newest generation, and replace the (empty) rotated
+        // log with nothing at all — e.g. lost along with the torn
+        // checkpoint. The older generation plus no log is recoverable.
+        let ckpts = wal::list_checkpoints(&dir);
+        assert_eq!(ckpts.len(), 2);
+        std::fs::write(&ckpts[0].1, b"garbage").unwrap();
+        std::fs::remove_file(dir.join(wal::WAL_FILE)).unwrap();
+
+        let (recovered, report) = MaintenanceEngine::recover(&dir).unwrap();
+        assert_eq!(report.checkpoints_skipped, 1);
+        assert_eq!(report.checkpoint_seq, 0);
+        // The fallback generation predates the insert; with the log gone
+        // the recovered state is the older checkpoint, minus that edge.
+        let mut older = want;
+        older.try_remove_edge(VertexId(0), VertexId(9)).unwrap();
+        assert_eq!(recovered.index().original_graph(), older);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn recover_refuses_a_directory_without_checkpoints() {
+        let dir = temp_dir("empty");
+        let err = match MaintenanceEngine::recover(&dir) {
+            Err(e) => e,
+            Ok(_) => panic!("recovery of an empty directory must refuse"),
+        };
+        assert!(matches!(err, CscError::Corrupt { .. }));
+        assert!(err.to_string().contains("no checkpoint"), "{err}");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn queued_writes_survive_a_crash_through_the_wal() {
+        let dir = temp_dir("queued");
+        let mut engine = durable_engine(&dir, 1000);
+        engine.begin_rejuvenation(RebuildReason::Manual).unwrap();
+        engine.step(2).unwrap();
+        assert!(engine.is_rebuilding());
+        // Logged *and* queued — applied to no index yet.
+        let nv = engine.add_vertex().unwrap();
+        engine.insert_edge(VertexId(0), nv).unwrap();
+        engine.insert_edge(nv, VertexId(1)).unwrap();
+        let mut want = engine.index().original_graph();
+        let gv = want.add_vertex();
+        want.try_add_edge(VertexId(0), gv).unwrap();
+        want.try_add_edge(gv, VertexId(1)).unwrap();
+        drop(engine); // crash mid-rejuvenation, queue lost
+
+        let (recovered, report) = MaintenanceEngine::recover(&dir).unwrap();
+        assert_eq!(report.updates_replayed, 3);
+        assert_eq!(recovered.index().original_graph(), want);
+        verify_index(recovered.index()).unwrap();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn durable_recover_in_place_carries_lifetime_stats() {
+        let dir = temp_dir("in-place");
+        let mut engine = durable_engine(&dir, 1000);
+        engine.insert_edge(VertexId(0), VertexId(9)).unwrap();
+        let want = engine.index().original_graph();
+        let report = engine.recover_in_place().unwrap();
+        assert_eq!(report.updates_replayed, 1);
+        assert_eq!(engine.maintenance_stats().recoveries, 1);
+        assert_eq!(engine.index().original_graph(), want);
+        assert!(engine.is_durable());
+        assert_eq!(engine.status(), MaintenanceStatus::Serving);
+        // Fully usable again, and the re-anchored log keeps working.
+        engine.insert_edge(VertexId(9), VertexId(0)).unwrap();
+        verify_index(engine.index()).unwrap();
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn non_durable_recover_in_place_rebuilds_and_replays_the_queue() {
+        let g = gnm(14, 36, 4);
+        let mut engine = MaintenanceEngine::new(CscIndex::build(&g, CscConfig::default()).unwrap());
+        engine.begin_rejuvenation(RebuildReason::Manual).unwrap();
+        engine.step(1).unwrap();
+        let nv = engine.add_vertex().unwrap();
+        engine.insert_edge(VertexId(0), nv).unwrap();
+        let report = engine.recover_in_place().unwrap();
+        assert_eq!(report.updates_replayed, 2);
+        assert_eq!(engine.status(), MaintenanceStatus::Serving);
+        assert_eq!(engine.maintenance_stats().recoveries, 1);
+        assert_eq!(
+            engine.index().original_vertex_count(),
+            15,
+            "queued AddVertex replayed"
+        );
+        assert_matches_fresh(&engine, "after in-place recovery");
+        verify_index(engine.index()).unwrap();
+    }
+
+    #[test]
+    fn attach_durability_is_refused_mid_rejuvenation() {
+        let g = directed_cycle(8);
+        let mut engine = MaintenanceEngine::new(CscIndex::build(&g, CscConfig::default()).unwrap());
+        engine.begin_rejuvenation(RebuildReason::Manual).unwrap();
+        let dir = temp_dir("mid-rebuild");
+        let err = engine.attach_durability(&dir).unwrap_err();
+        assert!(matches!(err, CscError::Config(_)), "{err:?}");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn attach_to_a_dirty_directory_starts_above_leftover_generations() {
+        let dir = temp_dir("dirty-attach");
+        let mut first = durable_engine(&dir, 1000);
+        first
+            .apply_batch(&[GraphUpdate::InsertEdge(VertexId(0), VertexId(9))])
+            .unwrap();
+        first.checkpoint().unwrap(); // leaves checkpoint seq 1
+        drop(first);
+
+        let g = directed_cycle(5);
+        let mut second = MaintenanceEngine::new(CscIndex::build(&g, CscConfig::default()).unwrap());
+        let seq = second.attach_durability(&dir).unwrap();
+        assert_eq!(seq, 2, "starts above the leftover generation");
+        drop(second);
+        let (recovered, _) = MaintenanceEngine::recover(&dir).unwrap();
+        assert_eq!(
+            recovered.index().original_vertex_count(),
+            5,
+            "the new engine's state wins, never the stale leftover"
+        );
+        std::fs::remove_dir_all(dir).unwrap();
     }
 }

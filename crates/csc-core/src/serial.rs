@@ -1,40 +1,53 @@
-//! Versioned binary serialization for [`CscIndex`].
+//! Versioned, checksummed binary serialization for [`CscIndex`].
 //!
 //! Persisting the index avoids the (potentially hours-long at paper scale)
-//! rebuild on restart. The format stores the original edge list, the rank
-//! table, the configuration, and every label list verbatim; the inverted
-//! indexes are reconstructed on load (they are derived data and compress
-//! poorly).
+//! rebuild on restart, and — since PR 6 — is the checkpoint format of the
+//! durability plane, so the decoder must never trust the bytes: a
+//! truncated or bit-flipped file has to come back as a precise
+//! [`CscError::Corrupt`], not as garbage labels, a panic, or an attempted
+//! multi-gigabyte allocation.
 //!
 //! Layout (little-endian):
 //!
 //! ```text
-//! magic    "CSCIDX\x03\n"                       8 bytes
-//! n        original vertex count                u32
-//! m        original edge count                  u64
-//! edges    (u32, u32) * m
-//! ranks    vertex_at[rank] for 2n ranks         u32 * 2n
-//! config   order tag + seed, strategy, inverted,
-//!          snapshot refresh interval            u8, u64, u8, u8, u32
-//! rebuild  growth %, dead %, churned vertices,
-//!          auto flag                            u32, u32, u32, u8
-//! baseline entries, in entries, out entries,
-//!          vertices, rejuvenations              u64, u64, u64, u32, u32
-//! labels   per bipartite vertex: in-len u32, in entries u64*,
-//!          out-len u32, out entries u64*
+//! magic      "CSCIDX\x04\n"                     8 bytes
+//! total_len  whole-file length, magic included  u64
+//! sections, in fixed order, each framed as:
+//!   tag      section id                         u8
+//!   len      payload length                     u64
+//!   crc      CRC32 of the payload               u32
+//!   payload
 //! ```
+//!
+//! | tag | section  | payload |
+//! |-----|----------|---------|
+//! | 1   | header   | n `u32`, m `u64` |
+//! | 2   | edges    | (`u32`, `u32`) × m |
+//! | 3   | ranks    | `vertex_at[rank]` `u32` × 2n |
+//! | 4   | config   | ordering, update strategy, inverted flag, snapshot interval, rebuild policy, durability knobs |
+//! | 5   | baseline | entries ×3 `u64`, vertices `u32`, rejuvenations `u32` |
+//! | 6   | labels   | per bipartite vertex and side: len `u32`, entries `u64` × len |
+//!
+//! Decoding is defensive in three layers: `total_len` catches truncation
+//! and trailing bytes before any section is touched, every claimed
+//! section length is checked against the remaining buffer *before*
+//! allocating, and every payload must match its CRC before it is parsed.
+//! A corrupted file therefore reports *which* section is damaged.
 //!
 //! The rank table is persisted verbatim — after a rejuvenation it is the
 //! *recomputed* order, not a derivable one — and the health baseline
 //! rides along so a reloaded index keeps measuring drift from its last
-//! rebuild, not from the load.
+//! rebuild, not from the load. The inverted indexes are reconstructed on
+//! load (derived data, compresses poorly).
 //!
-//! (Format `\x02` predates the rebuild policy and health baseline,
-//! `\x01` the snapshot refresh interval; there are no persisted older
-//! indexes to migrate, so both are rejected with a version message.)
+//! (Format `\x03` predates the section framing and checksums, `\x02` the
+//! rebuild policy and health baseline, `\x01` the snapshot refresh
+//! interval; there are no persisted older indexes to migrate, so all are
+//! rejected with a version message.)
 
 use crate::build::CoupleBfs;
-use crate::config::{CscConfig, UpdateStrategy};
+use crate::config::{CscConfig, DurabilityConfig, FsyncPolicy, UpdateStrategy};
+use crate::crc::crc32;
 use crate::error::CscError;
 use crate::health::{HealthBaseline, RebuildPolicy};
 use crate::index::CscIndex;
@@ -45,7 +58,14 @@ use csc_graph::bipartite::BipartiteGraph;
 use csc_graph::{DiGraph, OrderingStrategy, RankTable, VertexId};
 use csc_labeling::{LabelEntry, LabelSide, Labels};
 
-const MAGIC: &[u8; 8] = b"CSCIDX\x03\n";
+const MAGIC: &[u8; 8] = b"CSCIDX\x04\n";
+
+const TAG_HEADER: u8 = 1;
+const TAG_EDGES: u8 = 2;
+const TAG_RANKS: u8 = 3;
+const TAG_CONFIG: u8 = 4;
+const TAG_BASELINE: u8 = 5;
+const TAG_LABELS: u8 = 6;
 
 fn order_tag(o: OrderingStrategy) -> (u8, u64) {
     match o {
@@ -66,8 +86,81 @@ fn order_from_tag(tag: u8, seed: u64) -> Result<OrderingStrategy, CscError> {
     })
 }
 
+fn fsync_tag(f: FsyncPolicy) -> (u8, u32) {
+    match f {
+        FsyncPolicy::Always => (0, 0),
+        FsyncPolicy::Every(n) => (1, n),
+        FsyncPolicy::Never => (2, 0),
+    }
+}
+
+fn fsync_from_tag(tag: u8, arg: u32) -> Result<FsyncPolicy, CscError> {
+    Ok(match tag {
+        0 => FsyncPolicy::Always,
+        1 => FsyncPolicy::Every(arg),
+        2 => FsyncPolicy::Never,
+        _ => return Err(CscError::Serial(format!("unknown fsync policy tag {tag}"))),
+    })
+}
+
+/// Appends one framed section: tag, length, payload CRC, payload.
+fn put_section(buf: &mut BytesMut, tag: u8, payload: &[u8]) {
+    buf.put_u8(tag);
+    buf.put_u64_le(payload.len() as u64);
+    buf.put_u32_le(crc32(payload));
+    buf.put_slice(payload);
+}
+
+/// Pops the next section off `rest`, insisting on `tag`, verifying the
+/// length against the remaining bytes *before* touching the payload, and
+/// the CRC before handing it out.
+fn take_section<'a>(rest: &mut &'a [u8], tag: u8, name: &str) -> Result<&'a [u8], CscError> {
+    if rest.len() < 13 {
+        return Err(CscError::corrupt(
+            name,
+            format!("section header truncated ({} of 13 bytes)", rest.len()),
+        ));
+    }
+    if rest[0] != tag {
+        return Err(CscError::corrupt(
+            name,
+            format!("unexpected section tag {} (wanted {tag})", rest[0]),
+        ));
+    }
+    let len = u64::from_le_bytes(rest[1..9].try_into().unwrap());
+    let crc = u32::from_le_bytes(rest[9..13].try_into().unwrap());
+    let body = &rest[13..];
+    if (body.len() as u64) < len {
+        return Err(CscError::corrupt(
+            name,
+            format!("payload truncated ({} of {len} bytes)", body.len()),
+        ));
+    }
+    let payload = &body[..len as usize];
+    if crc32(payload) != crc {
+        return Err(CscError::corrupt(name, "payload crc mismatch"));
+    }
+    *rest = &body[len as usize..];
+    Ok(payload)
+}
+
+/// `need`-style guard *inside* a CRC-verified payload: tripping means the
+/// payload was internally inconsistent despite a matching checksum (a
+/// writer bug or a deliberately crafted file) — still an error, never a
+/// panic.
+fn need(buf: &[u8], n: usize, name: &str, what: &str) -> Result<(), CscError> {
+    if buf.remaining() < n {
+        Err(CscError::corrupt(
+            name,
+            format!("payload ends inside {what}"),
+        ))
+    } else {
+        Ok(())
+    }
+}
+
 impl CscIndex {
-    /// Serializes the index to a byte buffer.
+    /// Serializes the index to a byte buffer (the checkpoint format).
     ///
     /// # Errors
     ///
@@ -78,112 +171,204 @@ impl CscIndex {
         let n = self.original_vertex_count();
         let m = self.original_edge_count();
         let two_n = 2 * n;
-        let mut buf = BytesMut::with_capacity(64 + m * 8 + two_n * 4 + self.total_entries() * 9);
-        buf.put_slice(MAGIC);
-        buf.put_u32_le(n as u32);
-        buf.put_u64_le(m as u64);
+
+        let mut header = BytesMut::with_capacity(12);
+        header.put_u32_le(n as u32);
+        header.put_u64_le(m as u64);
+
+        let mut edges = BytesMut::with_capacity(m * 8);
         for (u, v) in self.original_edges() {
-            buf.put_u32_le(u.0);
-            buf.put_u32_le(v.0);
+            edges.put_u32_le(u.0);
+            edges.put_u32_le(v.0);
         }
+
+        let mut ranks = BytesMut::with_capacity(two_n * 4);
         for rank in 0..two_n as u32 {
-            buf.put_u32_le(self.ranks.vertex_at_rank(rank).0);
+            ranks.put_u32_le(self.ranks.vertex_at_rank(rank).0);
         }
+
+        let mut config = BytesMut::with_capacity(39);
         let (tag, seed) = order_tag(self.config.order);
-        buf.put_u8(tag);
-        buf.put_u64_le(seed);
-        buf.put_u8(match self.config.update_strategy {
+        config.put_u8(tag);
+        config.put_u64_le(seed);
+        config.put_u8(match self.config.update_strategy {
             UpdateStrategy::Redundancy => 0,
             UpdateStrategy::Minimality => 1,
         });
-        buf.put_u8(self.config.maintain_inverted as u8);
-        buf.put_u32_le(
+        config.put_u8(self.config.maintain_inverted as u8);
+        config.put_u32_le(
             u32::try_from(self.config.snapshot_every)
                 .map_err(|_| CscError::Serial("snapshot_every exceeds u32".into()))?,
         );
-        buf.put_u32_le(self.config.rebuild.max_growth_percent);
-        buf.put_u32_le(self.config.rebuild.max_dead_percent);
-        buf.put_u32_le(self.config.rebuild.max_churned_vertices);
-        buf.put_u8(self.config.rebuild.auto as u8);
-        buf.put_u64_le(self.baseline.entries as u64);
-        buf.put_u64_le(self.baseline.in_entries as u64);
-        buf.put_u64_le(self.baseline.out_entries as u64);
-        buf.put_u32_le(
+        config.put_u32_le(self.config.rebuild.max_growth_percent);
+        config.put_u32_le(self.config.rebuild.max_dead_percent);
+        config.put_u32_le(self.config.rebuild.max_churned_vertices);
+        config.put_u8(self.config.rebuild.auto as u8);
+        let (ftag, farg) = fsync_tag(self.config.durability.fsync);
+        config.put_u8(ftag);
+        config.put_u32_le(farg);
+        config.put_u32_le(self.config.durability.checkpoint_every);
+        config.put_u32_le(self.config.durability.keep_checkpoints);
+        config.put_u8(self.config.durability.check_integrity as u8);
+
+        let mut baseline = BytesMut::with_capacity(32);
+        baseline.put_u64_le(self.baseline.entries as u64);
+        baseline.put_u64_le(self.baseline.in_entries as u64);
+        baseline.put_u64_le(self.baseline.out_entries as u64);
+        baseline.put_u32_le(
             u32::try_from(self.baseline.vertices)
                 .map_err(|_| CscError::Serial("baseline vertex count exceeds u32".into()))?,
         );
-        buf.put_u32_le(self.baseline.rejuvenations);
+        baseline.put_u32_le(self.baseline.rejuvenations);
+
+        let mut labels = BytesMut::with_capacity(two_n * 8 + self.total_entries() * 8);
         for v in 0..two_n as u32 {
             let v = VertexId(v);
             for side in [LabelSide::In, LabelSide::Out] {
                 let list = self.labels.side_of(v, side);
-                buf.put_u32_le(list.len() as u32);
+                labels.put_u32_le(list.len() as u32);
                 for e in list {
-                    buf.put_u64_le(e.raw());
+                    labels.put_u64_le(e.raw());
                 }
             }
         }
+
+        let sections: [(u8, &[u8]); 6] = [
+            (TAG_HEADER, &header),
+            (TAG_EDGES, &edges),
+            (TAG_RANKS, &ranks),
+            (TAG_CONFIG, &config),
+            (TAG_BASELINE, &baseline),
+            (TAG_LABELS, &labels),
+        ];
+        let total: usize = 16 + sections.iter().map(|(_, p)| 13 + p.len()).sum::<usize>();
+        let mut buf = BytesMut::with_capacity(total);
+        buf.put_slice(MAGIC);
+        buf.put_u64_le(total as u64);
+        for (tag, payload) in sections {
+            put_section(&mut buf, tag, payload);
+        }
+        debug_assert_eq!(buf.len(), total);
         Ok(buf.freeze())
     }
 
     /// Deserializes an index from bytes produced by
     /// [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// * [`CscError::Corrupt`] — truncation, framing damage, or a CRC
+    ///   mismatch, naming the damaged section. This is the checkpoint
+    ///   loader's signal to fall back to an older generation.
+    /// * [`CscError::Serial`] — not a CSC index at all, an unsupported
+    ///   format version, or an unknown enum value.
+    /// * [`CscError::Config`] — the stored configuration fails
+    ///   [`CscConfig::validate`].
     pub fn from_bytes(bytes: &[u8]) -> Result<CscIndex, CscError> {
-        let mut buf = bytes;
-        let need = |buf: &[u8], n: usize, what: &str| -> Result<(), CscError> {
-            if buf.remaining() < n {
-                Err(CscError::Serial(format!(
-                    "truncated input while reading {what}"
-                )))
-            } else {
-                Ok(())
-            }
-        };
-        need(buf, 8, "magic")?;
-        let mut magic = [0u8; 8];
-        buf.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
-            if magic[..6] == MAGIC[..6] {
+        if bytes.len() < 8 {
+            return Err(CscError::corrupt(
+                "framing",
+                format!("file truncated before magic ({} bytes)", bytes.len()),
+            ));
+        }
+        if &bytes[..8] != MAGIC {
+            if bytes[..6] == MAGIC[..6] {
                 return Err(CscError::Serial(format!(
                     "unsupported CSC index format version {} (this build reads {})",
-                    magic[6], MAGIC[6]
+                    bytes[6], MAGIC[6]
                 )));
             }
             return Err(CscError::Serial("bad magic (not a CSC index)".into()));
         }
-        need(buf, 12, "header")?;
-        let n = buf.get_u32_le() as usize;
-        let m = buf.get_u64_le() as usize;
-        need(buf, m * 8, "edge list")?;
+        if bytes.len() < 16 {
+            return Err(CscError::corrupt(
+                "framing",
+                "file truncated in length field",
+            ));
+        }
+        let total = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        if (bytes.len() as u64) < total {
+            return Err(CscError::corrupt(
+                "framing",
+                format!("file truncated ({} of {total} bytes)", bytes.len()),
+            ));
+        }
+        if (bytes.len() as u64) > total {
+            return Err(CscError::corrupt(
+                "framing",
+                format!("{} trailing bytes after index", bytes.len() as u64 - total),
+            ));
+        }
+        let mut rest = &bytes[16..];
+
+        let mut p = take_section(&mut rest, TAG_HEADER, "header")?;
+        need(p, 12, "header", "counts")?;
+        let n = p.get_u32_le() as usize;
+        let m = p.get_u64_le() as usize;
+        let two_n = 2 * n;
+
+        let mut p = take_section(&mut rest, TAG_EDGES, "edges")?;
+        if p.len() != m * 8 {
+            return Err(CscError::corrupt(
+                "edges",
+                format!("payload is {} bytes, header claims {m} edges", p.len()),
+            ));
+        }
         let mut g = DiGraph::new(n);
         for _ in 0..m {
-            let u = buf.get_u32_le();
-            let v = buf.get_u32_le();
+            let u = p.get_u32_le();
+            let v = p.get_u32_le();
             g.try_add_edge(VertexId(u), VertexId(v))
-                .map_err(|e| CscError::Serial(format!("bad edge: {e}")))?;
+                .map_err(|e| CscError::corrupt("edges", format!("bad edge: {e}")))?;
         }
-        let two_n = 2 * n;
-        need(buf, two_n * 4, "rank table")?;
+
+        let mut p = take_section(&mut rest, TAG_RANKS, "ranks")?;
+        if p.len() != two_n * 4 {
+            return Err(CscError::corrupt(
+                "ranks",
+                format!("payload is {} bytes, expected {} ranks", p.len(), two_n),
+            ));
+        }
         let mut order = Vec::with_capacity(two_n);
+        let mut seen = vec![false; two_n];
         for _ in 0..two_n {
-            order.push(VertexId(buf.get_u32_le()));
+            let v = p.get_u32_le() as usize;
+            // A permutation check: out-of-range or duplicated entries
+            // would panic deep inside the rank table / query path later.
+            if v >= two_n || seen[v] {
+                return Err(CscError::corrupt(
+                    "ranks",
+                    format!("rank table is not a permutation (vertex {v})"),
+                ));
+            }
+            seen[v] = true;
+            order.push(VertexId(v as u32));
         }
-        need(buf, 15, "config")?;
-        let tag = buf.get_u8();
-        let seed = buf.get_u64_le();
-        let strategy = match buf.get_u8() {
+
+        let mut p = take_section(&mut rest, TAG_CONFIG, "config")?;
+        need(p, 39, "config", "knobs")?;
+        let tag = p.get_u8();
+        let seed = p.get_u64_le();
+        let strategy = match p.get_u8() {
             0 => UpdateStrategy::Redundancy,
             1 => UpdateStrategy::Minimality,
             other => return Err(CscError::Serial(format!("unknown update strategy {other}"))),
         };
-        let maintain_inverted = buf.get_u8() != 0;
-        let snapshot_every = buf.get_u32_le() as usize;
-        need(buf, 13, "rebuild policy")?;
+        let maintain_inverted = p.get_u8() != 0;
+        let snapshot_every = p.get_u32_le() as usize;
         let rebuild = RebuildPolicy {
-            max_growth_percent: buf.get_u32_le(),
-            max_dead_percent: buf.get_u32_le(),
-            max_churned_vertices: buf.get_u32_le(),
-            auto: buf.get_u8() != 0,
+            max_growth_percent: p.get_u32_le(),
+            max_dead_percent: p.get_u32_le(),
+            max_churned_vertices: p.get_u32_le(),
+            auto: p.get_u8() != 0,
+        };
+        let ftag = p.get_u8();
+        let farg = p.get_u32_le();
+        let durability = DurabilityConfig {
+            fsync: fsync_from_tag(ftag, farg)?,
+            checkpoint_every: p.get_u32_le(),
+            keep_checkpoints: p.get_u32_le(),
+            check_integrity: p.get_u8() != 0,
         };
         let config = CscConfig {
             order: order_from_tag(tag, seed)?,
@@ -191,42 +376,59 @@ impl CscIndex {
             maintain_inverted,
             snapshot_every,
             rebuild,
+            durability,
         };
         config.validate()?;
-        need(buf, 32, "health baseline")?;
+
+        let mut p = take_section(&mut rest, TAG_BASELINE, "baseline")?;
+        need(p, 32, "baseline", "counters")?;
         let baseline = HealthBaseline {
-            entries: buf.get_u64_le() as usize,
-            in_entries: buf.get_u64_le() as usize,
-            out_entries: buf.get_u64_le() as usize,
-            vertices: buf.get_u32_le() as usize,
-            rejuvenations: buf.get_u32_le(),
+            entries: p.get_u64_le() as usize,
+            in_entries: p.get_u64_le() as usize,
+            out_entries: p.get_u64_le() as usize,
+            vertices: p.get_u32_le() as usize,
+            rejuvenations: p.get_u32_le(),
         };
 
+        let mut p = take_section(&mut rest, TAG_LABELS, "labels")?;
         let mut labels = Labels::new(two_n);
         for v in 0..two_n as u32 {
             let v = VertexId(v);
             for side in [LabelSide::In, LabelSide::Out] {
-                need(buf, 4, "label length")?;
-                let len = buf.get_u32_le() as usize;
-                need(buf, len * 8, "label entries")?;
+                need(p, 4, "labels", "list length")?;
+                let len = p.get_u32_le() as usize;
+                need(p, len.saturating_mul(8), "labels", "list entries")?;
                 let mut prev: Option<u32> = None;
                 for _ in 0..len {
-                    let e = LabelEntry::from_raw(buf.get_u64_le());
-                    if prev.is_some_and(|p| p >= e.hub_rank()) {
-                        return Err(CscError::Serial(format!(
-                            "label list of vertex {v} is not sorted"
-                        )));
+                    let e = LabelEntry::from_raw(p.get_u64_le());
+                    if e.hub_rank() as usize >= two_n {
+                        return Err(CscError::corrupt(
+                            "labels",
+                            format!("vertex {v}: hub rank {} out of range", e.hub_rank()),
+                        ));
+                    }
+                    if prev.is_some_and(|r| r >= e.hub_rank()) {
+                        return Err(CscError::corrupt(
+                            "labels",
+                            format!("label list of vertex {v} is not sorted"),
+                        ));
                     }
                     prev = Some(e.hub_rank());
                     labels.append(v, side, e);
                 }
             }
         }
-        if buf.remaining() != 0 {
-            return Err(CscError::Serial(format!(
-                "{} trailing bytes after index",
-                buf.remaining()
-            )));
+        if !p.is_empty() {
+            return Err(CscError::corrupt(
+                "labels",
+                format!("{} bytes left over after the last list", p.len()),
+            ));
+        }
+        if !rest.is_empty() {
+            return Err(CscError::corrupt(
+                "framing",
+                format!("{} bytes of unexpected extra sections", rest.len()),
+            ));
         }
 
         let ranks = if order.is_empty() {
@@ -244,7 +446,7 @@ impl CscIndex {
             config,
             stats: IndexStats::default(),
             baseline,
-            poisoned: false,
+            poisoned: None,
             workspace: CoupleBfs::new(two_n),
             sweeps: csc_graph::TraversalWorkspace::new(two_n),
         })
@@ -308,14 +510,14 @@ mod tests {
         );
         let mut engine = MaintenanceEngine::new(CscIndex::build(&g, config).unwrap());
         for k in 0..3u32 {
-            let nv = engine.add_vertex();
+            let nv = engine.add_vertex().unwrap();
             engine.insert_edge(VertexId(k), nv).unwrap().unwrap();
             engine.insert_edge(nv, VertexId(k + 4)).unwrap().unwrap();
         }
         engine.rejuvenate(RebuildReason::Manual).unwrap();
         // Post-rejuvenation churn, so the persisted baseline differs from
         // the current state — a real mid-life index.
-        let nv = engine.add_vertex();
+        let nv = engine.add_vertex().unwrap();
         engine.insert_edge(VertexId(0), nv).unwrap().unwrap();
         let idx = engine.into_index();
 
@@ -336,12 +538,23 @@ mod tests {
     }
 
     #[test]
+    fn durability_config_survives_the_roundtrip() {
+        let config = CscConfig::default()
+            .with_fsync(FsyncPolicy::Every(8))
+            .with_checkpoint_every(17)
+            .with_integrity_check(true);
+        let idx = CscIndex::build(&figure2(), config).unwrap();
+        let back = CscIndex::from_bytes(&idx.to_bytes().unwrap()).unwrap();
+        assert_eq!(back.config().durability, config.durability);
+    }
+
+    #[test]
     fn rejects_old_format_versions() {
         let idx = CscIndex::build(&figure2(), CscConfig::default()).unwrap();
         let mut bytes = idx.to_bytes().unwrap().to_vec();
-        bytes[6] = 2; // the PR-2 era format
+        bytes[6] = 3; // the PR-2..5 era format
         let err = CscIndex::from_bytes(&bytes).unwrap_err();
-        assert!(err.to_string().contains("version 2"), "{err}");
+        assert!(err.to_string().contains("version 3"), "{err}");
         bytes[6] = 1;
         assert!(CscIndex::from_bytes(&bytes)
             .unwrap_err()
@@ -353,11 +566,20 @@ mod tests {
     fn load_validates_the_configuration() {
         let idx = CscIndex::build(&figure2(), CscConfig::default()).unwrap();
         let mut bytes = idx.to_bytes().unwrap().to_vec();
-        // Patch rebuild.max_growth_percent (first field after the 15-byte
-        // config block) to a degenerate 50%.
-        let off =
-            8 + 4 + 8 + idx.original_edge_count() * 8 + 2 * idx.original_vertex_count() * 4 + 15;
-        bytes[off..off + 4].copy_from_slice(&50u32.to_le_bytes());
+        // Walk the framing to the config section, patch
+        // rebuild.max_growth_percent (offset 15 in its payload) to a
+        // degenerate 50%, and re-checksum so only validation can object.
+        let mut off = 16;
+        for _ in 0..3 {
+            let len = u64::from_le_bytes(bytes[off + 1..off + 9].try_into().unwrap());
+            off += 13 + len as usize;
+        }
+        assert_eq!(bytes[off], TAG_CONFIG);
+        let len = u64::from_le_bytes(bytes[off + 1..off + 9].try_into().unwrap()) as usize;
+        let field = off + 13 + 15;
+        bytes[field..field + 4].copy_from_slice(&50u32.to_le_bytes());
+        let crc = crc32(&bytes[off + 13..off + 13 + len]);
+        bytes[off + 9..off + 13].copy_from_slice(&crc.to_le_bytes());
         assert!(matches!(
             CscIndex::from_bytes(&bytes),
             Err(CscError::Config(_))
@@ -372,30 +594,61 @@ mod tests {
         ));
         assert!(matches!(
             CscIndex::from_bytes(b""),
-            Err(CscError::Serial(_))
+            Err(CscError::Corrupt { .. })
         ));
     }
 
     #[test]
-    fn rejects_truncation_and_trailing_bytes() {
+    fn truncation_at_every_prefix_length_errs_and_never_panics() {
         let g = figure2();
         let idx = CscIndex::build(&g, CscConfig::default()).unwrap();
         let bytes = idx.to_bytes().unwrap();
-        for cut in [9, 20, bytes.len() / 2, bytes.len() - 1] {
-            assert!(
-                matches!(
-                    CscIndex::from_bytes(&bytes[..cut]),
-                    Err(CscError::Serial(_))
-                ),
-                "cut at {cut} must fail"
-            );
+        for cut in 0..bytes.len() {
+            let prefix = bytes[..cut].to_vec();
+            let result = std::panic::catch_unwind(move || CscIndex::from_bytes(&prefix));
+            match result {
+                Ok(Err(CscError::Corrupt { section, .. })) => {
+                    assert!(!section.is_empty(), "cut at {cut}")
+                }
+                // A cut inside the magic can also read as a wrong format.
+                Ok(Err(CscError::Serial(_))) if cut < 16 => {}
+                Ok(other) => panic!("cut at {cut}: expected Corrupt, got {other:?}"),
+                Err(_) => panic!("cut at {cut}: the loader panicked"),
+            }
         }
         let mut extended = bytes.to_vec();
         extended.push(0);
         assert!(matches!(
             CscIndex::from_bytes(&extended),
-            Err(CscError::Serial(_))
+            Err(CscError::Corrupt { section, .. }) if section == "framing"
         ));
+    }
+
+    #[test]
+    fn bit_flips_anywhere_err_and_never_panic_or_load() {
+        let g = figure2();
+        let idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let bytes = idx.to_bytes().unwrap();
+        let mut s = 0xD1CEu64;
+        for trial in 0..300 {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let byte = (s >> 33) as usize % bytes.len();
+            let bit = (s >> 29) as u8 & 7;
+            let mut flipped = bytes.to_vec();
+            flipped[byte] ^= 1 << bit;
+            let result = std::panic::catch_unwind(move || CscIndex::from_bytes(&flipped));
+            match result {
+                // Every single-bit flip is caught: by the magic check, a
+                // framing length, or a section CRC. None may load.
+                Ok(Err(CscError::Corrupt { .. }) | Err(CscError::Serial(_))) => {}
+                Ok(other) => {
+                    panic!("trial {trial}: flip of bit {bit} at byte {byte} gave {other:?}")
+                }
+                Err(_) => panic!("trial {trial}: flip at byte {byte} panicked the loader"),
+            }
+        }
     }
 
     #[test]

@@ -1,14 +1,72 @@
-//! Expensive whole-index invariant checking, for tests and debugging.
+//! Index invariant checking at two price points.
 //!
-//! [`verify_index`] cross-checks a [`CscIndex`] against brute-force BFS
-//! oracles. It is `O(n * (n + m))` and meant for test-sized graphs; the
-//! property-test suites run it after every mutation batch.
+//! [`check_integrity`] is the cheap `O(entries)` *structural* sweep —
+//! sortedness, the per-side entry counters, the inverted-index mirror,
+//! and bipartite well-formedness. It is fast enough to run in
+//! production after a rejuvenation swap or a recovery (gate it with
+//! [`DurabilityConfig::check_integrity`](crate::DurabilityConfig)).
+//!
+//! [`verify_index`] is the expensive *semantic* check for tests and
+//! debugging: it includes the structural sweep, then cross-checks every
+//! label distance and every query against brute-force BFS oracles —
+//! `O(n * (n + m))`, meant for test-sized graphs. The property-test
+//! suites run it after every mutation batch.
 
 use crate::config::UpdateStrategy;
+use crate::error::CscError;
 use crate::index::CscIndex;
 use csc_graph::bipartite::is_in_vertex;
 use csc_graph::traversal::{bfs_distances, shortest_cycle_oracle};
 use csc_graph::DiGraph;
+
+/// What [`check_integrity`] swept, for logging and reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntegrityReport {
+    /// Label entries visited.
+    pub entries: usize,
+    /// Whether the inverted indexes were present and cross-checked.
+    pub inverted_checked: bool,
+}
+
+/// The cheap `O(entries)` structural sweep: bipartite well-formedness,
+/// label sortedness/uniqueness, the maintained per-side entry counters
+/// against a ground-truth recount, and (when maintained) the inverted
+/// indexes as an exact mirror of the labels.
+///
+/// This deliberately checks only *internal* consistency — nothing here
+/// touches a BFS oracle — so it is safe to run inline after a
+/// rejuvenation swap or a recovery. Semantic correctness is
+/// [`verify_index`]'s job.
+///
+/// # Errors
+///
+/// Returns [`CscError::Corrupt`] (section `"integrity"`) describing the
+/// first violated invariant.
+pub fn check_integrity(index: &CscIndex) -> Result<IntegrityReport, CscError> {
+    let violation = |detail: String| CscError::corrupt("integrity", detail);
+    index.bipartite().validate().map_err(violation)?;
+    // Sortedness, uniqueness, and the side counters vs. a recount.
+    index.labels().validate_sorted().map_err(violation)?;
+    let mut inverted_checked = false;
+    if let Some(inv) = index.inverted.as_ref() {
+        inv.validate_against(index.labels()).map_err(violation)?;
+        if inv.total_entries() != index.labels().total_entries() {
+            return Err(violation(
+                "inverted entry count diverges from label entry count".into(),
+            ));
+        }
+        if inv.rank_count() != index.ranks().len() {
+            return Err(violation(
+                "inverted index rank count diverges from rank table".into(),
+            ));
+        }
+        inverted_checked = true;
+    }
+    Ok(IntegrityReport {
+        entries: index.labels().total_entries(),
+        inverted_checked,
+    })
+}
 
 impl CscIndex {
     /// Reconstructs the original (non-bipartite) graph from the index.
@@ -33,17 +91,9 @@ impl CscIndex {
 ///
 /// Returns a description of the first violation found.
 pub fn verify_index(index: &CscIndex) -> Result<(), String> {
-    index.bipartite().validate()?;
-    index.labels().validate_sorted()?;
-    if let Some(inv) = index.inverted.as_ref() {
-        inv.validate_against(index.labels())?;
-        if inv.total_entries() != index.labels().total_entries() {
-            return Err("inverted entry count diverges from label entry count".into());
-        }
-        if inv.rank_count() != index.ranks().len() {
-            return Err("inverted index rank count diverges from rank table".into());
-        }
-    }
+    // Invariants 1–3 are the structural sweep, shared with the
+    // production-grade fast path.
+    check_integrity(index).map_err(|e| e.to_string())?;
 
     let gb = index.bipartite().graph();
     let ranks = index.ranks();
@@ -174,6 +224,20 @@ mod tests {
                 added += 1;
             }
         }
+    }
+
+    #[test]
+    fn integrity_sweep_passes_and_reports_coverage() {
+        let g = gnm(20, 60, 3);
+        let idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let report = check_integrity(&idx).unwrap();
+        assert_eq!(report.entries, idx.total_entries());
+        assert!(report.inverted_checked);
+
+        let bare = CscIndex::build(&g, CscConfig::default().with_inverted(false)).unwrap();
+        let report = check_integrity(&bare).unwrap();
+        assert!(!report.inverted_checked, "nothing to mirror without inv");
+        assert_eq!(report.entries, bare.total_entries());
     }
 
     #[test]

@@ -137,7 +137,7 @@ proptest! {
                     prop_assert!(engine.remove_edge(a, b).unwrap().is_none());
                 }
                 GraphUpdate::AddVertex => {
-                    engine.add_vertex();
+                    engine.add_vertex().unwrap();
                 }
             }
         }
