@@ -308,10 +308,13 @@ pub fn record_json(phases: &[PhaseStats], window: &RejuvenationWindow, graph: &s
     else {
         return;
     };
+    // The effective worker-pool width: results at different widths are
+    // not comparable (see BENCHMARKING.md), so every line carries it.
+    let threads = csc_core::ParallelismConfig::default().width();
     for p in phases {
         let _ = writeln!(
             f,
-            "{{\"group\":\"churn_drift\",\"graph\":\"{graph}\",\"phase\":\"{}\",\
+            "{{\"group\":\"churn_drift\",\"graph\":\"{graph}\",\"threads\":{threads},\"phase\":\"{}\",\
              \"entries\":{},\"in_entries\":{},\"out_entries\":{},\"growth_percent\":{},\
              \"churned_vertices\":{},\"dead_fraction\":{:.4},\
              \"query_p50_us\":{:.2},\"query_p99_us\":{:.2}}}",
@@ -328,7 +331,7 @@ pub fn record_json(phases: &[PhaseStats], window: &RejuvenationWindow, graph: &s
     }
     let _ = writeln!(
         f,
-        "{{\"group\":\"rejuvenate_window\",\"graph\":\"{graph}\",\
+        "{{\"group\":\"rejuvenate_window\",\"graph\":\"{graph}\",\"threads\":{threads},\
          \"duration_ms\":{:.2},\"replayed\":{},\"maintain_calls\":{},\
          \"reader_p50_us\":{:.1},\"reader_p99_us\":{:.1},\"reader_queries\":{}}}",
         window.duration.as_secs_f64() * 1e3,

@@ -303,10 +303,14 @@ pub fn record_json(stats: &[ReplayStats], graph: &str) {
     else {
         return;
     };
+    // The effective worker-pool width: results at different widths are
+    // not comparable (see BENCHMARKING.md), so every line carries it.
+    let threads = csc_core::ParallelismConfig::default().width();
     for s in stats {
         let _ = writeln!(
             f,
-            "{{\"group\":\"stream_replay\",\"graph\":\"{graph}\",\"trace\":\"{}\",\"batch_size\":{},\
+            "{{\"group\":\"stream_replay\",\"graph\":\"{graph}\",\"threads\":{threads},\
+             \"trace\":\"{}\",\"batch_size\":{},\
              \"batches\":{},\"applied\":{},\"normalized_away\":{},\"publishes\":{},\
              \"total_ms\":{:.2},\"batch_mean_us\":{:.1},\"batch_p99_us\":{:.1},\
              \"per_update_us\":{:.2},\"per_op_us\":{:.2},\"reader_p50_us\":{:.1},\

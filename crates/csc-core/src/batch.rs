@@ -44,12 +44,17 @@
 //! created by [`GraphUpdate::AddVertex`] get ids in submission order, so
 //! later operations in the same batch may reference them.
 
+use crate::build::CoupleBfs;
+use crate::config::UpdateStrategy;
 use crate::error::CscError;
 use crate::index::CscIndex;
-use crate::repair::{multi_source_pass, Direction, Seed};
+use crate::parallel::par_map_indexed;
+use crate::repair::{
+    multi_source_collect, multi_source_commit, multi_source_pass, Direction, Seed,
+};
 use crate::stats::UpdateReport;
 use csc_graph::bipartite::{in_vertex, is_in_vertex, out_vertex};
-use csc_graph::VertexId;
+use csc_graph::{BucketQueue, VertexId, WorkspacePool};
 use csc_labeling::LabelingError;
 use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
@@ -363,7 +368,102 @@ impl CscIndex {
             ..
         } = *self;
         let graph = gb.graph();
-        workspace.ensure(graph.vertex_count());
+        let n = graph.vertex_count();
+        workspace.ensure(n);
+
+        // The wave-parallel path needs monotone label writes so that a
+        // stale compute view can only under-prune (see
+        // `multi_source_collect`); Minimality's mid-pass cleaning removes
+        // entries, so it keeps the direct sequential pass.
+        let width = config.parallelism.width();
+        if width > 1 && config.update_strategy == UpdateStrategy::Redundancy && hubs.len() > 1 {
+            let hub_list: Vec<(u32, &[Seed], &[Seed])> = hubs
+                .iter()
+                .map(|(&r, (fwd, bwd))| (r, fwd.as_slice(), bwd.as_slice()))
+                .collect();
+            let pool: WorkspacePool<(CoupleBfs, BucketQueue)> = WorkspacePool::new();
+            for wave in hub_list.chunks(width) {
+                // Compute phase: every wave hub traverses against the
+                // pre-wave labels with a worker-private workspace.
+                let results = {
+                    let labels_view: &csc_labeling::Labels = labels;
+                    par_map_indexed(width, wave.len(), |i| {
+                        // On worker threads: an injected panic here must
+                        // cross the scope join and reach the engine's
+                        // degradation catch, like any real worker bug.
+                        faultpoint!("batch.wave.worker");
+                        let (r, fwd, bwd) = wave[i];
+                        let vk = ranks.vertex_at_rank(r);
+                        let mut ws =
+                            pool.checkout_with(|| (CoupleBfs::new(n), BucketQueue::default()));
+                        let (bfs, buckets) = &mut *ws;
+                        bfs.ensure(n);
+                        let (state, cache) = bfs.parts_mut();
+                        let mut visited = 0usize;
+                        let collect = |seeds: &[Seed],
+                                       direction,
+                                       state: &mut _,
+                                       cache: &mut _,
+                                       buckets: &mut _,
+                                       visited: &mut _| {
+                            (!seeds.is_empty()).then(|| {
+                                multi_source_collect(
+                                    graph,
+                                    ranks,
+                                    labels_view,
+                                    state,
+                                    cache,
+                                    buckets,
+                                    direction,
+                                    r,
+                                    vk,
+                                    seeds,
+                                    visited,
+                                )
+                            })
+                        };
+                        let f =
+                            collect(fwd, Direction::Forward, state, cache, buckets, &mut visited);
+                        let b = collect(
+                            bwd,
+                            Direction::Backward,
+                            state,
+                            cache,
+                            buckets,
+                            &mut visited,
+                        );
+                        (f, b, visited)
+                    })
+                };
+                // Commit phase: ascending rank, forward before backward —
+                // the sequential pass order.
+                let (_, cache) = workspace.parts_mut();
+                for (&(r, fwd, bwd), (f, b, visited)) in wave.iter().zip(results) {
+                    let vk = ranks.vertex_at_rank(r);
+                    report.repair.vertices_visited += visited;
+                    for (visits, seeds, direction) in
+                        [(f, fwd, Direction::Forward), (b, bwd, Direction::Backward)]
+                    {
+                        let Some(visits) = visits else { continue };
+                        report.repair.affected_hubs += 1;
+                        report.hub_cache_fills += 1;
+                        report.hub_cache_hits += seeds.len() - 1;
+                        multi_source_commit(
+                            labels,
+                            inverted,
+                            cache,
+                            direction,
+                            r,
+                            vk,
+                            &visits,
+                            &mut report.repair,
+                        )?;
+                    }
+                }
+            }
+            return Ok(());
+        }
+
         let (state, cache) = workspace.parts_mut();
         let buckets = sweeps.buckets_mut();
         for (&r, (fwd, bwd)) in &hubs {
@@ -605,6 +705,36 @@ mod tests {
             .unwrap()
             .validate_against(&idx.labels)
             .unwrap();
+    }
+
+    #[test]
+    fn wave_parallel_batches_match_serial_labels() {
+        // The insertion waves and the deletion phase-C waves must commit
+        // the exact label set the sequential engine writes, at any width.
+        let g = gnm(24, 70, 7);
+        let edges = g.edge_vec();
+        let mut updates: Vec<GraphUpdate> = edges
+            .iter()
+            .step_by(9)
+            .map(|&(a, b)| RemoveEdge(v(a), v(b)))
+            .collect();
+        for s in 0..12u32 {
+            let a = (s * 5 + 2) % 24;
+            let b = (s * 11 + 7) % 24;
+            if a != b {
+                updates.push(InsertEdge(v(a), v(b)));
+            }
+        }
+
+        let mut serial = CscIndex::build(&g, CscConfig::default().with_threads(1)).unwrap();
+        serial.apply_batch(&updates).unwrap();
+        assert_matches_oracle(&serial, "serial reference");
+        for threads in [2, 4] {
+            let mut par = CscIndex::build(&g, CscConfig::default().with_threads(threads)).unwrap();
+            let report = par.apply_batch(&updates).unwrap();
+            assert!(report.applied_updates() > 0);
+            assert_eq!(par.labels, serial.labels, "width {threads} diverged");
+        }
     }
 
     #[test]

@@ -104,6 +104,72 @@ impl DurabilityConfig {
     }
 }
 
+/// Parallel execution knobs for the write and build planes.
+///
+/// These are *runtime* knobs: they steer how label work is scheduled
+/// across the worker pool, never what the index contains. With
+/// [`deterministic`](Self::deterministic) `true` (the default), per-hub
+/// results computed in parallel are validated and committed in hub-rank
+/// order, which makes the label arenas — and therefore
+/// [`to_bytes`](crate::CscIndex::to_bytes) — byte-identical regardless of
+/// `threads`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelismConfig {
+    /// Worker width for parallel label passes: `0` (the default) follows
+    /// the pool default (`CSC_THREADS`, else available parallelism); any
+    /// other value decomposes work as if that many workers were present
+    /// (physical threads are still capped by the pool). `1` forces the
+    /// fully sequential path.
+    pub threads: u32,
+    /// Commit parallel per-hub results to the label store in hub-rank
+    /// order, re-validating each against the already-committed prefix.
+    /// This reproduces the sequential execution exactly, so serialized
+    /// indexes are byte-identical across thread counts. `false` skips
+    /// the re-validation during static builds, which may retain a few
+    /// redundant (never query-winning) label entries whose set depends
+    /// on the decomposition width.
+    pub deterministic: bool,
+}
+
+impl Default for ParallelismConfig {
+    fn default() -> Self {
+        ParallelismConfig {
+            threads: 0,
+            deterministic: true,
+        }
+    }
+}
+
+/// Ceiling on [`ParallelismConfig::threads`]: wide enough for any real
+/// machine, small enough to catch garbage (and to fit the serialized
+/// form's validation budget).
+pub(crate) const MAX_THREADS: u32 = 4096;
+
+impl ParallelismConfig {
+    /// Rejects degenerate widths; called from [`CscConfig::validate`].
+    pub fn validate(&self) -> Result<(), String> {
+        if self.threads > MAX_THREADS {
+            return Err(format!(
+                "parallelism.threads must be <= {MAX_THREADS} (0 = pool default), got {}",
+                self.threads
+            ));
+        }
+        Ok(())
+    }
+
+    /// The effective decomposition width: `threads` when set, else the
+    /// global pool width (`CSC_THREADS` / available parallelism). This is
+    /// the wave size the parallel write & build plane actually uses — and
+    /// what benchmark records should report.
+    pub fn width(&self) -> usize {
+        if self.threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            self.threads as usize
+        }
+    }
+}
+
 /// Configuration for building a [`CscIndex`](crate::CscIndex).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CscConfig {
@@ -149,6 +215,10 @@ pub struct CscConfig {
     /// check); inert until a directory is attached. See
     /// [`DurabilityConfig`].
     pub durability: DurabilityConfig,
+    /// Parallel execution knobs (worker width, deterministic commit).
+    /// Runtime-only: they never change what the index contains. See
+    /// [`ParallelismConfig`].
+    pub parallelism: ParallelismConfig,
 }
 
 impl Default for CscConfig {
@@ -160,6 +230,7 @@ impl Default for CscConfig {
             snapshot_every: 8,
             rebuild: RebuildPolicy::default(),
             durability: DurabilityConfig::default(),
+            parallelism: ParallelismConfig::default(),
         }
     }
 }
@@ -232,6 +303,21 @@ impl CscConfig {
         self
     }
 
+    /// Builder-style: set the parallel decomposition width (`0` = pool
+    /// default, `1` = sequential). See [`ParallelismConfig::threads`].
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.parallelism.threads = threads;
+        self
+    }
+
+    /// Builder-style: toggle deterministic (rank-ordered, validated)
+    /// commit of parallel results. See
+    /// [`ParallelismConfig::deterministic`].
+    pub fn with_deterministic(mut self, on: bool) -> Self {
+        self.parallelism.deterministic = on;
+        self
+    }
+
     /// Rejects degenerate configurations. Called by `CscIndex::build` and
     /// `CscIndex::from_bytes`, so an invalid configuration can never reach
     /// a live index.
@@ -254,6 +340,7 @@ impl CscConfig {
     pub fn validate(&self) -> Result<(), CscError> {
         self.rebuild.validate().map_err(CscError::Config)?;
         self.durability.validate().map_err(CscError::Config)?;
+        self.parallelism.validate().map_err(CscError::Config)?;
         if self.update_strategy == UpdateStrategy::Minimality && !self.maintain_inverted {
             return Err(CscError::Config(
                 "update_strategy Minimality requires maintain_inverted".into(),
@@ -360,6 +447,33 @@ mod tests {
         assert_eq!(d.fsync, FsyncPolicy::Always, "acknowledged == durable");
         assert_eq!(d.keep_checkpoints, 2, "survive a crash mid-checkpoint");
         assert!(d.checkpoint_every >= 1);
+    }
+
+    #[test]
+    fn parallelism_defaults_and_builders() {
+        let c = CscConfig::default();
+        assert_eq!(c.parallelism.threads, 0, "0 = follow the pool default");
+        assert!(c.parallelism.deterministic, "reproducible by default");
+
+        let c = CscConfig::default()
+            .with_threads(4)
+            .with_deterministic(false);
+        assert_eq!(c.parallelism.threads, 4);
+        assert!(!c.parallelism.deterministic);
+        assert!(c.validate().is_ok());
+        assert!(c.parallelism.width() == 4);
+        assert!(CscConfig::default().with_threads(0).parallelism.width() >= 1);
+    }
+
+    #[test]
+    fn validate_rejects_absurd_thread_widths() {
+        let c = CscConfig::default().with_threads(MAX_THREADS + 1);
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("parallelism.threads"), "{err}");
+        assert!(CscConfig::default()
+            .with_threads(MAX_THREADS)
+            .validate()
+            .is_ok());
     }
 
     #[test]

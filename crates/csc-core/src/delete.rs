@@ -69,14 +69,17 @@
 //! label-identity contract is preserved by construction. The
 //! `batch_equivalence` suite pins both down.
 
-use crate::build::{build_labels, TraversalCounters, WriteMode};
+use crate::build::{build_labels, CoupleBfs, TraversalCounters, WriteMode};
 use crate::error::CscError;
 use crate::index::CscIndex;
 use crate::invert::InvertedIndex;
+use crate::parallel::par_map_indexed;
 use crate::repair::{multi_source_subtract, Direction, Seed, SubtractOutcome};
 use crate::stats::UpdateReport;
 use csc_graph::bipartite::{in_vertex, is_in_vertex, out_vertex};
-use csc_graph::{Csr, DistMap, GraphError, SweepHandle, SweepMaps, VertexId, UNREACHED};
+use csc_graph::{
+    Csr, DistMap, GraphError, SweepHandle, SweepMaps, VertexId, WorkspacePool, UNREACHED,
+};
 use csc_labeling::{LabelSide, LabelingError};
 use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
@@ -350,6 +353,7 @@ impl CscIndex {
             ref ranks,
             ref mut labels,
             ref mut inverted,
+            ref config,
             ref mut workspace,
             ref mut sweeps,
             ..
@@ -461,32 +465,99 @@ impl CscIndex {
         }
 
         // ---- Phase C: re-label in descending rank order, once per hub. ----
+        // With a parallelism width above one the sweeps run in waves:
+        // per-hub traversals are collected concurrently against the
+        // pre-wave labels, then committed in rank order with validation —
+        // exact because Phase B already removed every distance-stale
+        // entry, so the wave's upserts only add or count-refresh entries
+        // (coverage grows monotonically; see the collect/commit notes in
+        // `build.rs`). Upsert commits always validate, independent of the
+        // `deterministic` knob, to keep the sweep serial-exact.
         let mut counters = crate::build::TraversalCounters::default();
-        for (&rank, &(fwd, bwd)) in &relabel {
-            let hub = ranks.vertex_at_rank(rank);
-            report.affected_hubs += 1;
-            stats.hub_union += usize::from(fwd) + usize::from(bwd);
-            if fwd {
-                workspace.run_in(
-                    graph,
-                    ranks,
-                    labels,
-                    inverted.as_mut(),
-                    &mut counters,
-                    hub,
-                    WriteMode::Upsert,
-                )?;
+        let width = config.parallelism.width();
+        if width > 1 && relabel.len() > 1 {
+            let n = graph.vertex_count();
+            let hub_list: Vec<(u32, bool, bool)> =
+                relabel.iter().map(|(&r, &(f, b))| (r, f, b)).collect();
+            let pool: WorkspacePool<CoupleBfs> = WorkspacePool::new();
+            for wave in hub_list.chunks(width) {
+                let results = {
+                    let labels_view: &csc_labeling::Labels = labels;
+                    par_map_indexed(width, wave.len(), |i| {
+                        let (rank, fwd, bwd) = wave[i];
+                        let hub = ranks.vertex_at_rank(rank);
+                        let mut ws = pool.checkout_with(|| CoupleBfs::new(n));
+                        ws.ensure(n);
+                        let mut c = TraversalCounters::default();
+                        let groups_in =
+                            fwd.then(|| ws.collect_in(graph, ranks, labels_view, &mut c, hub));
+                        let groups_out =
+                            bwd.then(|| ws.collect_out(graph, ranks, labels_view, &mut c, hub));
+                        (groups_in, groups_out, c)
+                    })
+                };
+                for (&(rank, fwd, bwd), (groups_in, groups_out, c)) in wave.iter().zip(results) {
+                    let hub = ranks.vertex_at_rank(rank);
+                    report.affected_hubs += 1;
+                    stats.hub_union += usize::from(fwd) + usize::from(bwd);
+                    counters.merge(&c);
+                    let (_, cache) = workspace.parts_mut();
+                    if let Some(groups) = groups_in {
+                        CoupleBfs::commit_in(
+                            labels,
+                            inverted.as_mut(),
+                            &mut counters,
+                            WriteMode::Upsert,
+                            cache,
+                            hub,
+                            rank,
+                            &groups,
+                            true,
+                        )?;
+                    }
+                    let (_, cache) = workspace.parts_mut();
+                    if let Some(groups) = groups_out {
+                        CoupleBfs::commit_out(
+                            labels,
+                            inverted.as_mut(),
+                            &mut counters,
+                            WriteMode::Upsert,
+                            cache,
+                            hub,
+                            rank,
+                            &groups,
+                            true,
+                        )?;
+                    }
+                }
             }
-            if bwd {
-                workspace.run_out(
-                    graph,
-                    ranks,
-                    labels,
-                    inverted.as_mut(),
-                    &mut counters,
-                    hub,
-                    WriteMode::Upsert,
-                )?;
+        } else {
+            for (&rank, &(fwd, bwd)) in &relabel {
+                let hub = ranks.vertex_at_rank(rank);
+                report.affected_hubs += 1;
+                stats.hub_union += usize::from(fwd) + usize::from(bwd);
+                if fwd {
+                    workspace.run_in(
+                        graph,
+                        ranks,
+                        labels,
+                        inverted.as_mut(),
+                        &mut counters,
+                        hub,
+                        WriteMode::Upsert,
+                    )?;
+                }
+                if bwd {
+                    workspace.run_out(
+                        graph,
+                        ranks,
+                        labels,
+                        inverted.as_mut(),
+                        &mut counters,
+                        hub,
+                        WriteMode::Upsert,
+                    )?;
+                }
             }
         }
         report.entries_inserted += counters.inserted;
@@ -506,7 +577,7 @@ impl CscIndex {
     fn rebuild_after_window(&mut self, report: &mut UpdateReport) -> Result<(), LabelingError> {
         let csr = Csr::from_digraph(self.gb.graph());
         let mut counters = TraversalCounters::default();
-        let labels = build_labels(&csr, &self.ranks, &mut counters)?;
+        let labels = build_labels(&csr, &self.ranks, &mut counters, self.config.parallelism)?;
         report.entries_removed += self.labels.total_entries();
         report.entries_inserted += labels.total_entries();
         report.vertices_visited += counters.dequeues;

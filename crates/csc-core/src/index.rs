@@ -88,7 +88,7 @@ impl CscIndex {
         let ranks = RankTable::build(g, config.order).bipartite_order();
         let csr = Csr::from_digraph(gb.graph());
         let mut counters = TraversalCounters::default();
-        let labels = build_labels(&csr, &ranks, &mut counters)?;
+        let labels = build_labels(&csr, &ranks, &mut counters, config.parallelism)?;
         let inverted = config
             .maintain_inverted
             .then(|| InvertedIndex::from_labels(&labels));
@@ -234,6 +234,16 @@ impl CscIndex {
     /// The configuration the index was built with.
     pub fn config(&self) -> &CscConfig {
         &self.config
+    }
+
+    /// Retunes the parallelism knobs on a live index.
+    ///
+    /// Parallelism is a non-semantic runtime field — it steers how label
+    /// work is scheduled, never what the labels contain — so unlike the
+    /// rest of [`CscConfig`] it may be changed after build, e.g. to adapt
+    /// a loaded checkpoint to the host it now runs on.
+    pub fn set_parallelism(&mut self, parallelism: crate::config::ParallelismConfig) {
+        self.config.parallelism = parallelism;
     }
 
     /// Cumulative statistics.

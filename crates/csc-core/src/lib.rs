@@ -68,6 +68,7 @@ mod index;
 mod insert;
 mod invert;
 pub mod maintain;
+pub(crate) mod parallel;
 pub mod reduction;
 mod repair;
 pub mod serial;
@@ -78,7 +79,7 @@ pub mod wal;
 
 pub use batch::{BatchReport, GraphUpdate};
 pub use concurrent::ConcurrentIndex;
-pub use config::{CscConfig, DurabilityConfig, FsyncPolicy, UpdateStrategy};
+pub use config::{CscConfig, DurabilityConfig, FsyncPolicy, ParallelismConfig, UpdateStrategy};
 pub use error::CscError;
 pub use health::{HealthBaseline, IndexHealth, RebuildPolicy, RebuildReason};
 pub use index::CscIndex;

@@ -294,6 +294,128 @@ pub(crate) fn multi_source_pass(
     Ok(())
 }
 
+/// One buffered visit of [`multi_source_collect`]: the vertex, its
+/// traversal distance, and its hub-maximal new-path count.
+pub(crate) type RepairVisit = (VertexId, u32, u64);
+
+/// The compute half of [`multi_source_pass`], split for the parallel
+/// batch engine: the identical traversal run against an *immutable* label
+/// view, buffering the would-be [`update_label`] calls instead of
+/// writing. A pass never reads its own writes (the hub cache is filled
+/// once up front and the covered-distance scan of a vertex only consults
+/// that vertex's own list, which the pass touches at most at its single
+/// processing), so collect-then-commit over one label state equals the
+/// direct pass exactly.
+///
+/// When the view is *stale* — missing the writes of other same-wave
+/// passes — pruning can only be weaker than sequential: repair writes are
+/// monotone (entries are only added, shortened, or count-accumulated,
+/// never lengthened or removed), so a fresher view covers at least as
+/// much. [`multi_source_commit`] re-checks coverage against the live
+/// labels and drops what sequential would have pruned; a dropped visit's
+/// whole buffered subtree is covered at strictly smaller slack and drops
+/// with it, so the surviving writes — distances *and* counts — are the
+/// sequential ones. (Not valid under [`UpdateStrategy::Minimality`],
+/// whose cleaning *removes* entries mid-pass; the batch engine falls back
+/// to the direct pass there.)
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn multi_source_collect(
+    graph: &DiGraph,
+    ranks: &RankTable,
+    labels: &Labels,
+    state: &mut SearchState,
+    cache: &mut HubCache,
+    buckets: &mut BucketQueue,
+    direction: Direction,
+    vk_rank: u32,
+    vk: VertexId,
+    seeds: &[Seed],
+    visited: &mut usize,
+) -> Vec<RepairVisit> {
+    debug_assert!(!seeds.is_empty());
+    let (own_side, target_side) = direction.sides();
+    fill_hub_cache(labels, cache, vk, vk_rank, own_side);
+    let base = seed_buckets(state, buckets, seeds);
+    let mut visits = Vec::new();
+
+    let mut level = 0usize;
+    while level < buckets.depth() {
+        let mut i = 0usize;
+        while i < buckets.len_at(level) {
+            let w = VertexId(buckets.at(level, i));
+            i += 1;
+            let dw = base + level as u32;
+            if state.dist[w.index()] != dw {
+                continue; // superseded by a downward relaxation
+            }
+            let cw = state.count[w.index()];
+            *visited += 1;
+
+            if dw > covered_dist(labels, cache, vk_rank, w, target_side) {
+                continue;
+            }
+            visits.push((w, dw, cw));
+
+            let nbrs = match direction {
+                Direction::Forward => graph.nbr_out(w),
+                Direction::Backward => graph.nbr_in(w),
+            };
+            for &u in nbrs {
+                let u = VertexId(u);
+                if !state.visited(u) {
+                    if vk_rank < ranks.rank(u) {
+                        state.visit(u, dw + 1, cw);
+                        buckets.push((dw + 1 - base) as usize, u.0);
+                    }
+                } else if state.dist[u.index()] == dw + 1 {
+                    state.accumulate(u, cw);
+                } else if state.dist[u.index()] > dw + 1 {
+                    state.relax(u, dw + 1, cw);
+                    buckets.push((dw + 1 - base) as usize, u.0);
+                }
+            }
+        }
+        level += 1;
+    }
+    visits
+}
+
+/// The write half of [`multi_source_collect`]: re-validates each buffered
+/// visit's coverage against the live labels and applies the survivors via
+/// [`update_label`]. Run in ascending rank order (and, per hub, forward
+/// before backward) this restores the sequential pass order exactly.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn multi_source_commit(
+    labels: &mut Labels,
+    inverted: &mut Option<InvertedIndex>,
+    cache: &mut HubCache,
+    direction: Direction,
+    vk_rank: u32,
+    vk: VertexId,
+    visits: &[RepairVisit],
+    report: &mut UpdateReport,
+) -> Result<(), LabelingError> {
+    let (own_side, target_side) = direction.sides();
+    fill_hub_cache(labels, cache, vk, vk_rank, own_side);
+    for &(w, dw, cw) in visits {
+        if dw > covered_dist(labels, cache, vk_rank, w, target_side) {
+            continue;
+        }
+        update_label(
+            labels,
+            inverted,
+            w,
+            target_side,
+            vk,
+            vk_rank,
+            dw,
+            cw,
+            report,
+        )?;
+    }
+    Ok(())
+}
+
 /// Resets `state` and `buckets` and loads `seeds` into them, merging
 /// colliding seeds (minimum distance wins, equal distances accumulate).
 /// Returns the base distance buckets are relative to.

@@ -24,7 +24,7 @@
 //! | 1   | header   | n `u32`, m `u64` |
 //! | 2   | edges    | (`u32`, `u32`) × m |
 //! | 3   | ranks    | `vertex_at[rank]` `u32` × 2n |
-//! | 4   | config   | ordering, update strategy, inverted flag, snapshot interval, rebuild policy, durability knobs |
+//! | 4   | config   | ordering, update strategy, inverted flag, snapshot interval, rebuild policy, durability knobs, parallelism knobs |
 //! | 5   | baseline | entries ×3 `u64`, vertices `u32`, rejuvenations `u32` |
 //! | 6   | labels   | per bipartite vertex and side: len `u32`, entries `u64` × len |
 //!
@@ -46,7 +46,7 @@
 //! rejected with a version message.)
 
 use crate::build::CoupleBfs;
-use crate::config::{CscConfig, DurabilityConfig, FsyncPolicy, UpdateStrategy};
+use crate::config::{CscConfig, DurabilityConfig, FsyncPolicy, ParallelismConfig, UpdateStrategy};
 use crate::crc::crc32;
 use crate::error::CscError;
 use crate::health::{HealthBaseline, RebuildPolicy};
@@ -187,7 +187,7 @@ impl CscIndex {
             ranks.put_u32_le(self.ranks.vertex_at_rank(rank).0);
         }
 
-        let mut config = BytesMut::with_capacity(39);
+        let mut config = BytesMut::with_capacity(47);
         let (tag, seed) = order_tag(self.config.order);
         config.put_u8(tag);
         config.put_u64_le(seed);
@@ -210,6 +210,11 @@ impl CscIndex {
         config.put_u32_le(self.config.durability.checkpoint_every);
         config.put_u32_le(self.config.durability.keep_checkpoints);
         config.put_u8(self.config.durability.check_integrity as u8);
+        // Parallelism is a non-semantic runtime field: it steers how label
+        // work is scheduled, never what the labels contain. It rides along
+        // so a reloaded engine keeps its operator-tuned width.
+        config.put_u32_le(self.config.parallelism.threads);
+        config.put_u8(self.config.parallelism.deterministic as u8);
 
         let mut baseline = BytesMut::with_capacity(32);
         baseline.put_u64_le(self.baseline.entries as u64);
@@ -370,6 +375,17 @@ impl CscIndex {
             keep_checkpoints: p.get_u32_le(),
             check_integrity: p.get_u8() != 0,
         };
+        // The parallelism knobs were appended to the config payload after
+        // its first release; a 39-byte payload predates them and means
+        // "defaults" (non-semantic runtime field either way).
+        let parallelism = if p.remaining() >= 5 {
+            ParallelismConfig {
+                threads: p.get_u32_le(),
+                deterministic: p.get_u8() != 0,
+            }
+        } else {
+            ParallelismConfig::default()
+        };
         let config = CscConfig {
             order: order_from_tag(tag, seed)?,
             update_strategy: strategy,
@@ -377,6 +393,7 @@ impl CscIndex {
             snapshot_every,
             rebuild,
             durability,
+            parallelism,
         };
         config.validate()?;
 
@@ -546,6 +563,44 @@ mod tests {
         let idx = CscIndex::build(&figure2(), config).unwrap();
         let back = CscIndex::from_bytes(&idx.to_bytes().unwrap()).unwrap();
         assert_eq!(back.config().durability, config.durability);
+    }
+
+    #[test]
+    fn parallelism_config_survives_the_roundtrip() {
+        let config = CscConfig::default()
+            .with_threads(3)
+            .with_deterministic(false);
+        let idx = CscIndex::build(&figure2(), config).unwrap();
+        let back = CscIndex::from_bytes(&idx.to_bytes().unwrap()).unwrap();
+        assert_eq!(back.config().parallelism, config.parallelism);
+        assert_eq!(back.config(), idx.config());
+    }
+
+    #[test]
+    fn legacy_39_byte_config_payload_defaults_parallelism() {
+        // Pre-parallelism checkpoints carried a 39-byte config payload;
+        // loading one must succeed with default parallelism knobs rather
+        // than erroring on the missing trailing bytes.
+        let idx = CscIndex::build(&figure2(), CscConfig::default()).unwrap();
+        let mut bytes = idx.to_bytes().unwrap().to_vec();
+        let mut off = 16;
+        for _ in 0..3 {
+            let len = u64::from_le_bytes(bytes[off + 1..off + 9].try_into().unwrap());
+            off += 13 + len as usize;
+        }
+        assert_eq!(bytes[off], TAG_CONFIG);
+        let len = u64::from_le_bytes(bytes[off + 1..off + 9].try_into().unwrap()) as usize;
+        assert_eq!(len, 47, "config payload = 42 legacy + 5 parallelism bytes");
+        // Shrink the section to its legacy length and re-frame.
+        let payload_at = off + 13;
+        bytes.drain(payload_at + 42..payload_at + len);
+        bytes[off + 1..off + 9].copy_from_slice(&42u64.to_le_bytes());
+        let crc = crc32(&bytes[payload_at..payload_at + 42]);
+        bytes[off + 9..off + 13].copy_from_slice(&crc.to_le_bytes());
+        let total = bytes.len() as u64;
+        bytes[8..16].copy_from_slice(&total.to_le_bytes());
+        let back = CscIndex::from_bytes(&bytes).unwrap();
+        assert_eq!(back.config().parallelism, ParallelismConfig::default());
     }
 
     #[test]

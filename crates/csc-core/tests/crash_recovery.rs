@@ -322,6 +322,46 @@ fn poisoned_writer_keeps_serving_readers_until_recovery() {
 }
 
 #[test]
+fn parallel_wave_worker_panic_degrades_instead_of_aborting() {
+    let _guard = fault::test_lock();
+    fault::reset();
+
+    // Width 4: the insertion repair runs on pool worker threads. A panic
+    // injected *inside a worker* must cross the work-stealing scope join,
+    // reach the engine's degradation catch on the calling thread, and
+    // poison the writer — never abort the process or hang the pool.
+    let g = base_graph();
+    let config = CscConfig::default().with_threads(4);
+    let shared = ConcurrentIndex::new(CscIndex::build(&g, config).unwrap());
+    let before: Vec<_> = g.vertices().map(|v| shared.query(v)).collect();
+
+    let inserts: Vec<GraphUpdate> = [(0u32, 5u32), (1, 7), (2, 9), (3, 11), (4, 6)]
+        .iter()
+        .filter(|&&(a, b)| !g.has_edge(VertexId(a), VertexId(b)))
+        .map(|&(a, b)| GraphUpdate::InsertEdge(VertexId(a), VertexId(b)))
+        .collect();
+    fault::arm("batch.wave.worker", 2);
+    let err = shared.apply_batch(&inserts).unwrap_err();
+    fault::reset();
+    assert!(matches!(err, CscError::Poisoned { .. }), "{err:?}");
+    assert_eq!(shared.status(), MaintenanceStatus::Degraded);
+
+    // Readers stay on the pre-crash snapshot; the pool is still usable.
+    for (v, want) in g.vertices().zip(&before) {
+        assert_eq!(shared.query(v), *want, "degraded read of SCCnt({v})");
+    }
+
+    // In-place recovery rebuilds from the live graph — with the same
+    // parallel config — and the facade serves and writes again.
+    shared.recover().unwrap();
+    assert_eq!(shared.status(), MaintenanceStatus::Serving);
+    shared.with_read(|idx| verify_index(idx).unwrap());
+    shared.apply_batch(&inserts).unwrap();
+    shared.refresh();
+    shared.with_read(|idx| verify_index(idx).unwrap());
+}
+
+#[test]
 fn concurrent_open_resumes_from_a_crashed_durable_facade() {
     let _guard = fault::test_lock();
     fault::reset();

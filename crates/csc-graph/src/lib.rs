@@ -44,5 +44,8 @@ pub use csr::Csr;
 pub use digraph::DiGraph;
 pub use error::GraphError;
 pub use order::{OrderingStrategy, Rank, RankTable};
-pub use traversal::{BucketQueue, DistMap, SweepHandle, SweepMaps, TraversalWorkspace, UNREACHED};
+pub use traversal::{
+    BucketQueue, DistMap, PooledWorkspace, SweepHandle, SweepMaps, TraversalWorkspace,
+    WorkspacePool, UNREACHED,
+};
 pub use vertex::VertexId;

@@ -254,6 +254,79 @@ impl<'a> SweepMaps<'a> {
     }
 }
 
+/// A checkout pool of per-worker traversal workspaces for parallel
+/// passes.
+///
+/// Parallel repair and build waves hand every worker its own
+/// [`TraversalWorkspace`] (or any other scratch type, via the generic
+/// parameter): a worker checks a workspace out, runs its traversals, and
+/// the guard returns it on drop for the next task to reuse. Because the
+/// pooled workspaces are epoch-stamped ([`DistMap`] reuse is a stamp
+/// bump, not a fill), checkout is O(1) and steady-state waves run
+/// allocation-free regardless of which worker previously used a given
+/// workspace. The pool itself is `Sync`: checkouts only contend on one
+/// short-lived lock around the free list.
+#[derive(Debug, Default)]
+pub struct WorkspacePool<T = TraversalWorkspace> {
+    free: std::sync::Mutex<Vec<T>>,
+}
+
+impl<T> WorkspacePool<T> {
+    /// Creates an empty pool; workspaces are built on first checkout.
+    pub fn new() -> Self {
+        WorkspacePool {
+            free: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Checks out a pooled workspace, building a fresh one with `make`
+    /// when the free list is empty. The guard returns it on drop.
+    pub fn checkout_with(&self, make: impl FnOnce() -> T) -> PooledWorkspace<'_, T> {
+        let ws = self.free.lock().unwrap().pop().unwrap_or_else(make);
+        PooledWorkspace {
+            pool: self,
+            ws: Some(ws),
+        }
+    }
+}
+
+impl WorkspacePool<TraversalWorkspace> {
+    /// Checks out a traversal workspace sized for `n` vertices.
+    pub fn checkout(&self, n: usize) -> PooledWorkspace<'_, TraversalWorkspace> {
+        let mut guard = self.checkout_with(|| TraversalWorkspace::new(n));
+        guard.ensure(n);
+        guard
+    }
+}
+
+/// An exclusive loan of one pooled workspace (see [`WorkspacePool`]).
+#[derive(Debug)]
+pub struct PooledWorkspace<'a, T> {
+    pool: &'a WorkspacePool<T>,
+    ws: Option<T>,
+}
+
+impl<T> std::ops::Deref for PooledWorkspace<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.ws.as_ref().expect("workspace present until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for PooledWorkspace<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl<T> Drop for PooledWorkspace<'_, T> {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            self.pool.free.lock().unwrap().push(ws);
+        }
+    }
+}
+
 /// A monotone bucket queue for multi-source unit-weight traversals,
 /// recyclable across passes (bucket capacity is retained).
 ///

@@ -1,31 +1,321 @@
 //! Offline shim for the [`rayon`](https://crates.io/crates/rayon) crate.
 //!
-//! Implements the data-parallel subset this workspace uses: `par_iter()`
-//! over slices and `into_par_iter()` over `Range<usize>` / `Range<u32>`,
-//! with `map` / `filter_map` / `for_each` / `collect` / `sum`. Instead of
-//! rayon's work-stealing pool, inputs are split into one contiguous chunk
-//! per available core and mapped on `std::thread::scope` threads; results
-//! are concatenated in order, so `collect::<Vec<_>>()` is
-//! order-preserving exactly like the real crate. Inputs smaller than a
-//! small cutoff run inline to avoid thread-spawn overhead.
+//! Implements the subset this workspace uses on top of a real global
+//! work-stealing thread pool:
+//!
+//! * data-parallel iterators — `par_iter()` over slices and
+//!   `into_par_iter()` over `Range<usize>` / `Range<u32>` / `Range<u64>`,
+//!   with `map` / `filter_map` / `for_each` / `collect` / `sum`. Results
+//!   are concatenated in source order, so `collect::<Vec<_>>()` is
+//!   order-preserving exactly like the real crate;
+//! * [`scope`] — structured fork/join: spawned closures may borrow from
+//!   the enclosing stack frame, the scope blocks until every spawned task
+//!   has finished, and a panic inside any task is re-raised on the caller
+//!   with its **original payload** (so `catch_unwind`-based degradation
+//!   paths upstream observe the same panic they would under a plain
+//!   sequential call);
+//! * [`current_num_threads`] — the pool width.
+//!
+//! The pool is created lazily on first use and sized by the
+//! `CSC_THREADS` environment variable, falling back to
+//! `available_parallelism`. Each worker owns a local deque; tasks spawned
+//! from a worker go to its own deque, tasks spawned from outside go to a
+//! shared injector, and idle workers steal from the back of their
+//! siblings' deques. A thread blocked in [`scope`] does not idle: it
+//! *helps*, draining tasks from the pool while it waits, which makes
+//! nested scopes deadlock-free even on a single-worker pool.
 
-#![forbid(unsafe_code)]
-
+use std::collections::VecDeque;
+use std::marker::PhantomData;
 use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
 /// Below this many items the "parallel" iterators run inline: spawning
-/// threads costs more than the work.
+/// tasks costs more than the work.
 const SEQUENTIAL_CUTOFF: usize = 512;
 
-fn worker_count(items: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    cores.min(items.div_ceil(SEQUENTIAL_CUTOFF)).max(1)
+/// How long an idle worker sleeps between wake-up checks. Wake-ups are
+/// also signalled eagerly on every push; the timeout is a backstop.
+const IDLE_PARK: Duration = Duration::from_millis(50);
+
+/// How long a scope waiter parks when the pool has no runnable task for
+/// it to help with.
+const HELP_PARK: Duration = Duration::from_millis(1);
+
+// ---------------------------------------------------------------------------
+// The work-stealing pool
+// ---------------------------------------------------------------------------
+
+/// A unit of queued work. Tasks are spawned with a `'scope` lifetime and
+/// transmuted to `'static` for storage; soundness is provided by
+/// [`scope`], which never returns while one of its tasks is live.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-width work-stealing pool: one shared injector plus one local
+/// deque per worker.
+struct Pool {
+    /// Overflow queue for tasks spawned from non-worker threads.
+    injector: Mutex<VecDeque<Job>>,
+    /// Per-worker local deques; owner pops the front, thieves the back.
+    locals: Vec<Mutex<VecDeque<Job>>>,
+    /// Queued-task count across all queues (fast idle check).
+    queued: AtomicUsize,
+    /// Wake-up generation counter, paired with `wake`.
+    sleep: Mutex<u64>,
+    wake: Condvar,
+    /// Number of worker threads.
+    width: usize,
 }
 
-/// Runs `f` on `threads` contiguous index chunks of `0..len`, returning the
-/// per-chunk outputs in chunk order.
+std::thread_local! {
+    /// Index of the pool worker running on this thread, if any.
+    static WORKER_INDEX: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+impl Pool {
+    /// Creates a pool with `width` worker threads (at least one).
+    fn new(width: usize) -> Arc<Pool> {
+        let width = width.max(1);
+        let pool = Arc::new(Pool {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..width).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicUsize::new(0),
+            sleep: Mutex::new(0),
+            wake: Condvar::new(),
+            width,
+        });
+        for i in 0..width {
+            let pool = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name(format!("csc-worker-{i}"))
+                .spawn(move || pool.worker_loop(i))
+                .expect("failed to spawn pool worker");
+        }
+        pool
+    }
+
+    /// Enqueues a task: onto the local deque when called from a worker,
+    /// onto the shared injector otherwise.
+    fn push(&self, job: Job) {
+        let slot = WORKER_INDEX.with(std::cell::Cell::get);
+        match slot {
+            Some(i) if i < self.locals.len() => {
+                self.locals[i].lock().unwrap().push_back(job);
+            }
+            _ => self.injector.lock().unwrap().push_back(job),
+        }
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        let mut gen = self.sleep.lock().unwrap();
+        *gen = gen.wrapping_add(1);
+        drop(gen);
+        self.wake.notify_all();
+    }
+
+    /// Takes one task: own deque front first (when on a worker), then the
+    /// injector, then steal from the back of sibling deques.
+    fn pop_any(&self) -> Option<Job> {
+        if self.queued.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let own = WORKER_INDEX.with(std::cell::Cell::get);
+        if let Some(i) = own {
+            if let Some(job) = self.locals[i].lock().unwrap().pop_front() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+        for (k, local) in self.locals.iter().enumerate() {
+            if Some(k) == own {
+                continue;
+            }
+            if let Some(job) = local.lock().unwrap().pop_back() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// The body of worker `index`: run tasks until the process exits.
+    fn worker_loop(self: Arc<Pool>, index: usize) {
+        WORKER_INDEX.with(|slot| slot.set(Some(index)));
+        loop {
+            if let Some(job) = self.pop_any() {
+                job();
+                continue;
+            }
+            let gen = self.sleep.lock().unwrap();
+            if self.queued.load(Ordering::SeqCst) > 0 {
+                continue;
+            }
+            // Parking under the same lock `push` bumps the generation
+            // through closes the check-then-wait race; the timeout is a
+            // belt-and-braces backstop.
+            let _ = self.wake.wait_timeout(gen, IDLE_PARK).unwrap();
+        }
+    }
+}
+
+/// Pool width requested by the environment: `CSC_THREADS` when set to a
+/// positive integer, otherwise `available_parallelism`.
+fn env_width() -> usize {
+    std::env::var("CSC_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// The lazily-created global pool.
+fn global_pool() -> &'static Arc<Pool> {
+    static POOL: OnceLock<Arc<Pool>> = OnceLock::new();
+    POOL.get_or_init(|| Pool::new(env_width()))
+}
+
+/// Number of worker threads in the global pool (`CSC_THREADS` or the
+/// machine's available parallelism; read once, at first use).
+pub fn current_num_threads() -> usize {
+    global_pool().width
+}
+
+// ---------------------------------------------------------------------------
+// Scopes
+// ---------------------------------------------------------------------------
+
+/// Shared bookkeeping for one [`scope`] invocation.
+struct ScopeState {
+    /// Spawned-but-unfinished task count, guarded for use with `done`.
+    remaining: Mutex<usize>,
+    done: Condvar,
+    /// First panic payload observed in any task of this scope.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl ScopeState {
+    fn finish_one(&self) {
+        let mut left = self.remaining.lock().unwrap();
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// A fork/join scope handed to the closure passed to [`scope`]. Tasks
+/// spawned through it may borrow anything that outlives the scope.
+pub struct Scope<'scope> {
+    pool: &'scope Arc<Pool>,
+    state: Arc<ScopeState>,
+    /// Makes `'scope` invariant, as borrowed spawns require.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns `f` onto the pool. The closure may borrow from the stack
+    /// frame enclosing the [`scope`] call; it runs at most once, and the
+    /// scope does not return before it completes.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        *self.state.remaining.lock().unwrap() += 1;
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(f)) {
+                state.panic.lock().unwrap().get_or_insert(payload);
+            }
+            state.finish_one();
+        });
+        // SAFETY: the job is only queued and run while the owning scope is
+        // blocked in `wait`; `scope` never returns (normally or by panic)
+        // until `remaining` reaches zero, i.e. until after this closure —
+        // and every `'scope` borrow inside it — has been dropped. The
+        // transmute only erases the lifetime; the layout of a boxed trait
+        // object does not depend on it.
+        let job: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+        self.pool.push(job);
+    }
+}
+
+/// Creates a fork/join scope on the global pool: `op` may spawn borrowed
+/// tasks through the [`Scope`] it receives, and `scope` returns only once
+/// every spawned task has finished. While waiting, the calling thread
+/// helps drain the pool, so nested scopes cannot deadlock. If any task
+/// panicked, the first captured payload is re-raised here via
+/// [`std::panic::resume_unwind`] (after all tasks have settled), keeping
+/// upstream `catch_unwind` handlers and their panic messages intact.
+pub fn scope<'scope, R>(op: impl FnOnce(&Scope<'scope>) -> R) -> R {
+    scope_on(global_pool(), op)
+}
+
+/// [`scope`] against an explicit pool (exercised directly by the tests).
+fn scope_on<'scope, R>(pool: &'scope Arc<Pool>, op: impl FnOnce(&Scope<'scope>) -> R) -> R {
+    let scope = Scope {
+        pool,
+        state: Arc::new(ScopeState {
+            remaining: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }),
+        _marker: PhantomData,
+    };
+    // Run the body under catch_unwind so a panic in `op` itself still
+    // waits for already-spawned tasks before unwinding out.
+    let body = panic::catch_unwind(AssertUnwindSafe(|| op(&scope)));
+
+    // Help-first wait: run queued tasks (any scope's) while our own are
+    // outstanding, parking briefly only when there is nothing to steal.
+    loop {
+        if *scope.state.remaining.lock().unwrap() == 0 {
+            break;
+        }
+        if let Some(job) = pool.pop_any() {
+            job();
+            continue;
+        }
+        let left = scope.state.remaining.lock().unwrap();
+        if *left > 0 {
+            let _ = scope.state.done.wait_timeout(left, HELP_PARK).unwrap();
+        }
+    }
+
+    let task_panic = scope.state.panic.lock().unwrap().take();
+    match (body, task_panic) {
+        // A task panic wins: it is the root cause the caller's
+        // `catch_unwind` degradation path wants to see.
+        (_, Some(payload)) => panic::resume_unwind(payload),
+        (Err(payload), None) => panic::resume_unwind(payload),
+        (Ok(r), None) => r,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel iterators
+// ---------------------------------------------------------------------------
+
+/// Task count for `items` work items: never more than the pool width,
+/// never so many that a task holds fewer than the sequential cutoff.
+fn worker_count(items: usize) -> usize {
+    current_num_threads()
+        .min(items.div_ceil(SEQUENTIAL_CUTOFF))
+        .max(1)
+}
+
+/// Runs `f` on `threads` contiguous index chunks of `0..len` via the
+/// pool, returning the per-chunk outputs in chunk order.
 fn run_chunked<U: Send>(
     len: usize,
     threads: usize,
@@ -35,21 +325,18 @@ fn run_chunked<U: Send>(
         return vec![f(0..len)];
     }
     let chunk = len.div_ceil(threads);
-    let mut out: Vec<Vec<U>> = Vec::with_capacity(threads);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
+    let mut slots: Vec<Option<Vec<U>>> = (0..threads).map(|_| None).collect();
+    scope(|s| {
+        for (t, slot) in slots.iter_mut().enumerate() {
+            let f = &f;
+            s.spawn(move || {
                 let lo = t * chunk;
                 let hi = (lo + chunk).min(len);
-                let f = &f;
-                scope.spawn(move || f(lo..hi))
-            })
-            .collect();
-        for h in handles {
-            out.push(h.join().expect("rayon-shim worker panicked"));
+                *slot = Some(f(lo..hi));
+            });
         }
     });
-    out
+    slots.into_iter().map(Option::unwrap_or_default).collect()
 }
 
 /// The common import surface (`use rayon::prelude::*`).
@@ -323,6 +610,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn slice_par_map_collect_preserves_order() {
@@ -353,7 +643,6 @@ mod tests {
 
     #[test]
     fn for_each_and_small_inputs_run_inline() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
         let hits = AtomicUsize::new(0);
         let xs: Vec<u8> = vec![1, 2, 3];
         xs.par_iter().for_each(|_| {
@@ -363,5 +652,117 @@ mod tests {
         let empty: Vec<u8> = vec![];
         let out: Vec<u8> = empty.par_iter().map(|&x| x).collect();
         assert!(out.is_empty());
+        let one: Vec<u8> = vec![7];
+        let out: Vec<u8> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn scope_runs_borrowed_tasks_to_completion() {
+        let mut slots = vec![0u32; 100];
+        scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move || *slot = i as u32 + 1);
+            }
+        });
+        assert!(slots.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+    }
+
+    #[test]
+    fn scope_with_zero_and_one_task() {
+        // Zero spawns: scope is a no-op that still returns the body value.
+        let r = scope(|_| 42);
+        assert_eq!(r, 42);
+        // One spawn.
+        let flag = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|| {
+                flag.fetch_add(1, Ordering::SeqCst);
+            })
+        });
+        assert_eq!(flag.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn work_distributes_across_pool_workers() {
+        // A private 3-worker pool: every queued task must run on one of
+        // its workers (or the helping caller), and all must complete.
+        let pool = Pool::new(3);
+        let ids = Mutex::new(HashSet::new());
+        let done = AtomicUsize::new(0);
+        scope_on(&pool, |s| {
+            for _ in 0..64 {
+                s.spawn(|| {
+                    // Enough work to keep several workers busy at once.
+                    std::thread::sleep(Duration::from_millis(2));
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(done.load(Ordering::SeqCst), 64);
+        let ids = ids.lock().unwrap();
+        assert!(
+            ids.len() >= 2,
+            "64 sleepy tasks on a 3-worker pool should land on >1 thread, got {}",
+            ids.len()
+        );
+    }
+
+    #[test]
+    fn panic_propagates_with_original_payload() {
+        let pool = Pool::new(2);
+        let survivors = AtomicUsize::new(0);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            scope_on(&pool, |s| {
+                s.spawn(|| panic!("injected fault 17"));
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        survivors.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }));
+        let payload = caught.expect_err("scope must re-raise the task panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("injected fault 17"),
+            "original payload preserved, got {msg:?}"
+        );
+        // Sibling tasks were not abandoned: the scope settled them all
+        // before re-raising.
+        assert_eq!(survivors.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        // Single-worker pool: inner scopes can only make progress because
+        // blocked outer tasks help drain the queue.
+        let pool = Pool::new(1);
+        let total = AtomicUsize::new(0);
+        scope_on(&pool, |outer| {
+            for _ in 0..4 {
+                outer.spawn(|| {
+                    scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(|| {
+                                total.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
     }
 }

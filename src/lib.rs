@@ -50,9 +50,9 @@ pub use csc_labeling as labeling;
 pub mod prelude {
     pub use csc_core::{
         BatchReport, ConcurrentIndex, CscConfig, CscError, CscIndex, CycleCount, FsyncPolicy,
-        GraphUpdate, IndexHealth, MaintenanceEngine, MaintenanceStatus, RebuildPolicy,
-        RebuildReason, RecoveryReport, RejuvenationReport, SnapshotIndex, SnapshotStats,
-        UpdateReport, UpdateStrategy,
+        GraphUpdate, IndexHealth, MaintenanceEngine, MaintenanceStatus, ParallelismConfig,
+        RebuildPolicy, RebuildReason, RecoveryReport, RejuvenationReport, SnapshotIndex,
+        SnapshotStats, UpdateReport, UpdateStrategy,
     };
     pub use csc_graph::{DiGraph, GraphError, OrderingStrategy, VertexId};
     pub use csc_labeling::{scc_count_bfs, BfsCycleEngine, FrozenLabels, HpSpcIndex, LabelStore};

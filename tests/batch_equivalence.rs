@@ -131,6 +131,246 @@ fn arb_delete_heavy_script(len: usize) -> impl Strategy<Value = Vec<RawOp>> {
     )
 }
 
+/// Every equivalence property below runs once per entry of this matrix:
+/// width 1 is the sequential reference path, widths 2 and 4 drive the
+/// wave-parallel repair and build planes through the work-stealing pool.
+const THREAD_MATRIX: [u32; 3] = [1, 2, 4];
+
+/// The default config pinned to an explicit parallelism width.
+fn cfg_at(threads: u32) -> CscConfig {
+    CscConfig::default().with_threads(threads)
+}
+
+fn check_batched_equals_one_by_one(
+    g: &DiGraph,
+    updates: &[GraphUpdate],
+    threads: u32,
+) -> Result<(), TestCaseError> {
+    let base = CscIndex::build(g, cfg_at(threads)).unwrap();
+
+    let mut batched = base.clone();
+    let report = batched.apply_batch(updates).unwrap();
+    let mut sequential = base;
+    let applied = apply_one_by_one(&mut sequential, updates);
+
+    // Accounting: every submitted update is applied, cancelled, or
+    // rejected; applied + cancelled is what sequential accepted.
+    prop_assert_eq!(
+        report.applied_updates() + report.cancelled,
+        applied,
+        "accepted-op accounting ({} threads)",
+        threads
+    );
+    prop_assert_eq!(
+        report.applied_updates() + report.cancelled + report.rejected,
+        updates.len(),
+        "total accounting ({} threads)",
+        threads
+    );
+
+    let g_final = sequential.original_graph();
+    prop_assert_eq!(&batched.original_graph(), &g_final, "net graphs diverge");
+    for v in g_final.vertices() {
+        let got = batched.query(v);
+        prop_assert_eq!(
+            got,
+            sequential.query(v),
+            "vs sequential at {} ({} threads)",
+            v,
+            threads
+        );
+        prop_assert_eq!(
+            got.map(|c| (c.length, c.count)),
+            shortest_cycle_oracle(&g_final, v),
+            "vs oracle at {} ({} threads)",
+            v,
+            threads
+        );
+    }
+    Ok(())
+}
+
+fn check_batched_minimality_equals_one_by_one(
+    g: &DiGraph,
+    updates: &[GraphUpdate],
+    threads: u32,
+) -> Result<(), TestCaseError> {
+    let config = cfg_at(threads).with_update_strategy(UpdateStrategy::Minimality);
+    let base = CscIndex::build(g, config).unwrap();
+    let mut batched = base.clone();
+    batched.apply_batch(updates).unwrap();
+    let mut sequential = base;
+    apply_one_by_one(&mut sequential, updates);
+    for v in batched.original_graph().vertices() {
+        prop_assert_eq!(
+            batched.query(v),
+            sequential.query(v),
+            "at {} ({} threads)",
+            v,
+            threads
+        );
+    }
+    Ok(())
+}
+
+fn check_windowed_replay_equals_single_batch(
+    g: &DiGraph,
+    updates: &[GraphUpdate],
+    window: usize,
+    threads: u32,
+) -> Result<(), TestCaseError> {
+    let base = CscIndex::build(g, cfg_at(threads)).unwrap();
+    let mut whole = base.clone();
+    whole.apply_batch(updates).unwrap();
+    let mut windowed = base;
+    for chunk in updates.chunks(window) {
+        windowed.apply_batch(chunk).unwrap();
+    }
+    prop_assert_eq!(&whole.original_graph(), &windowed.original_graph());
+    for v in whole.original_graph().vertices() {
+        prop_assert_eq!(
+            whole.query(v),
+            windowed.query(v),
+            "at {} ({} threads)",
+            v,
+            threads
+        );
+    }
+    Ok(())
+}
+
+fn check_delete_only_batched(
+    g: &DiGraph,
+    updates: &[GraphUpdate],
+    threads: u32,
+) -> Result<(), TestCaseError> {
+    let base = CscIndex::build(g, cfg_at(threads)).unwrap();
+    let mut batched = base.clone();
+    let report = batched.apply_batch(updates).unwrap();
+    prop_assert_eq!(report.edges_removed, updates.len());
+    let mut sequential = base;
+    apply_one_by_one(&mut sequential, updates);
+
+    let g_final = sequential.original_graph();
+    prop_assert_eq!(&batched.original_graph(), &g_final);
+    for v in g_final.vertices() {
+        let got = batched.query(v);
+        prop_assert_eq!(
+            got,
+            sequential.query(v),
+            "vs sequential at {} ({} threads)",
+            v,
+            threads
+        );
+        prop_assert_eq!(
+            got.map(|c| (c.length, c.count)),
+            shortest_cycle_oracle(&g_final, v),
+            "vs oracle at {} ({} threads)",
+            v,
+            threads
+        );
+    }
+    Ok(())
+}
+
+fn check_delete_then_reinsert_restores(
+    g: &DiGraph,
+    removals: &[GraphUpdate],
+    reinserts: &[GraphUpdate],
+    window: usize,
+    threads: u32,
+) -> Result<(), TestCaseError> {
+    let base = CscIndex::build(g, cfg_at(threads)).unwrap();
+    let mut idx = base.clone();
+    for chunk in removals.chunks(window) {
+        idx.apply_batch(chunk).unwrap();
+    }
+    for chunk in reinserts.chunks(window) {
+        idx.apply_batch(chunk).unwrap();
+    }
+    prop_assert_eq!(&idx.original_graph(), g);
+    for v in g.vertices() {
+        prop_assert_eq!(
+            idx.query(v),
+            base.query(v),
+            "at {} ({} threads)",
+            v,
+            threads
+        );
+    }
+    Ok(())
+}
+
+fn check_delete_heavy_windowing(
+    g: &DiGraph,
+    updates: &[GraphUpdate],
+    window: usize,
+    threads: u32,
+) -> Result<(), TestCaseError> {
+    let base = CscIndex::build(g, cfg_at(threads)).unwrap();
+    let mut whole = base.clone();
+    whole.apply_batch(updates).unwrap();
+    let mut windowed = base.clone();
+    for chunk in updates.chunks(window) {
+        windowed.apply_batch(chunk).unwrap();
+    }
+    let mut sequential = base;
+    apply_one_by_one(&mut sequential, updates);
+    prop_assert_eq!(&whole.original_graph(), &windowed.original_graph());
+    let g_final = sequential.original_graph();
+    for v in g_final.vertices() {
+        let got = whole.query(v);
+        prop_assert_eq!(
+            got,
+            windowed.query(v),
+            "windowed at {} ({} threads)",
+            v,
+            threads
+        );
+        prop_assert_eq!(
+            got,
+            sequential.query(v),
+            "sequential at {} ({} threads)",
+            v,
+            threads
+        );
+        prop_assert_eq!(
+            got.map(|c| (c.length, c.count)),
+            shortest_cycle_oracle(&g_final, v),
+            "oracle at {} ({} threads)",
+            v,
+            threads
+        );
+    }
+    Ok(())
+}
+
+fn check_concurrent_batches_snapshots(
+    g: &DiGraph,
+    updates: &[GraphUpdate],
+    every: usize,
+    threads: u32,
+) {
+    let config = cfg_at(threads).with_snapshot_every(every);
+    let shared = ConcurrentIndex::new(CscIndex::build(g, config).unwrap());
+    for chunk in updates.chunks(3) {
+        shared.apply_batch(chunk).unwrap();
+    }
+    shared.refresh();
+    let snap = shared.snapshot();
+    shared.with_read(|idx| {
+        for v in 0..idx.original_vertex_count() as u32 {
+            let v = VertexId(v);
+            assert_eq!(
+                snap.query(v),
+                idx.query(v),
+                "snapshot at {v} ({threads} threads)"
+            );
+        }
+        assert_eq!(snap.total_entries(), idx.total_entries());
+    });
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -143,36 +383,8 @@ proptest! {
         let m = (m_seed as usize) % (n * 2 + 1);
         let g = generators::gnm(n, m, m_seed);
         let updates = resolve(&g, &script);
-        let base = CscIndex::build(&g, CscConfig::default()).unwrap();
-
-        let mut batched = base.clone();
-        let report = batched.apply_batch(&updates).unwrap();
-        let mut sequential = base;
-        let applied = apply_one_by_one(&mut sequential, &updates);
-
-        // Accounting: every submitted update is applied, cancelled, or
-        // rejected; applied + cancelled is what sequential accepted.
-        prop_assert_eq!(
-            report.applied_updates() + report.cancelled,
-            applied,
-            "accepted-op accounting"
-        );
-        prop_assert_eq!(
-            report.applied_updates() + report.cancelled + report.rejected,
-            updates.len(),
-            "total accounting"
-        );
-
-        let g_final = sequential.original_graph();
-        prop_assert_eq!(&batched.original_graph(), &g_final, "net graphs diverge");
-        for v in g_final.vertices() {
-            let got = batched.query(v);
-            prop_assert_eq!(got, sequential.query(v), "vs sequential at {}", v);
-            prop_assert_eq!(
-                got.map(|c| (c.length, c.count)),
-                shortest_cycle_oracle(&g_final, v),
-                "vs oracle at {}", v
-            );
+        for &threads in &THREAD_MATRIX {
+            check_batched_equals_one_by_one(&g, &updates, threads)?;
         }
     }
 
@@ -183,14 +395,8 @@ proptest! {
     ) {
         let g = generators::preferential_attachment(12, 2, 0.5, seed);
         let updates = resolve(&g, &script);
-        let config = CscConfig::default().with_update_strategy(UpdateStrategy::Minimality);
-        let base = CscIndex::build(&g, config).unwrap();
-        let mut batched = base.clone();
-        batched.apply_batch(&updates).unwrap();
-        let mut sequential = base;
-        apply_one_by_one(&mut sequential, &updates);
-        for v in batched.original_graph().vertices() {
-            prop_assert_eq!(batched.query(v), sequential.query(v), "at {}", v);
+        for &threads in &THREAD_MATRIX {
+            check_batched_minimality_equals_one_by_one(&g, &updates, threads)?;
         }
     }
 
@@ -205,16 +411,8 @@ proptest! {
         // where the index ends up (only what cancels inside a window).
         let g = generators::gnm(n, n * 2, seed);
         let updates = resolve(&g, &script);
-        let base = CscIndex::build(&g, CscConfig::default()).unwrap();
-        let mut whole = base.clone();
-        whole.apply_batch(&updates).unwrap();
-        let mut windowed = base;
-        for chunk in updates.chunks(window) {
-            windowed.apply_batch(chunk).unwrap();
-        }
-        prop_assert_eq!(&whole.original_graph(), &windowed.original_graph());
-        for v in whole.original_graph().vertices() {
-            prop_assert_eq!(whole.query(v), windowed.query(v), "at {}", v);
+        for &threads in &THREAD_MATRIX {
+            check_windowed_replay_equals_single_batch(&g, &updates, window, threads)?;
         }
     }
 
@@ -227,7 +425,6 @@ proptest! {
         // Dense start so the windowed engine sees real cones; one batch
         // removes a spread-out slice of the edges.
         let g = generators::gnm(n, n * 4, seed);
-        let base = CscIndex::build(&g, CscConfig::default()).unwrap();
         let edges = g.edge_vec();
         let updates: Vec<GraphUpdate> = edges
             .iter()
@@ -235,23 +432,8 @@ proptest! {
             .map(|&(a, b)| GraphUpdate::RemoveEdge(VertexId(a), VertexId(b)))
             .collect();
         prop_assume!(!updates.is_empty());
-
-        let mut batched = base.clone();
-        let report = batched.apply_batch(&updates).unwrap();
-        prop_assert_eq!(report.edges_removed, updates.len());
-        let mut sequential = base;
-        apply_one_by_one(&mut sequential, &updates);
-
-        let g_final = sequential.original_graph();
-        prop_assert_eq!(&batched.original_graph(), &g_final);
-        for v in g_final.vertices() {
-            let got = batched.query(v);
-            prop_assert_eq!(got, sequential.query(v), "vs sequential at {}", v);
-            prop_assert_eq!(
-                got.map(|c| (c.length, c.count)),
-                shortest_cycle_oracle(&g_final, v),
-                "vs oracle at {}", v
-            );
+        for &threads in &THREAD_MATRIX {
+            check_delete_only_batched(&g, &updates, threads)?;
         }
     }
 
@@ -265,7 +447,6 @@ proptest! {
         // answer exactly like the untouched graph — the decremental and
         // incremental engines must be true inverses at the query level.
         let g = generators::gnm(n, n * 3, seed);
-        let base = CscIndex::build(&g, CscConfig::default()).unwrap();
         let victims: Vec<(u32, u32)> = g.edge_vec().into_iter().step_by(3).collect();
         prop_assume!(!victims.is_empty());
         let removals: Vec<GraphUpdate> = victims
@@ -276,17 +457,8 @@ proptest! {
             .iter()
             .map(|&(a, b)| GraphUpdate::InsertEdge(VertexId(a), VertexId(b)))
             .collect();
-
-        let mut idx = base.clone();
-        for chunk in removals.chunks(window) {
-            idx.apply_batch(chunk).unwrap();
-        }
-        for chunk in reinserts.chunks(window) {
-            idx.apply_batch(chunk).unwrap();
-        }
-        prop_assert_eq!(&idx.original_graph(), &g);
-        for v in g.vertices() {
-            prop_assert_eq!(idx.query(v), base.query(v), "at {}", v);
+        for &threads in &THREAD_MATRIX {
+            check_delete_then_reinsert_restores(&g, &removals, &reinserts, window, threads)?;
         }
     }
 
@@ -302,26 +474,8 @@ proptest! {
         // surgical per-hub path and the rebuild fallback each window takes.
         let g = generators::gnm(n, n * 3, seed);
         let updates = resolve(&g, &script);
-        let base = CscIndex::build(&g, CscConfig::default()).unwrap();
-        let mut whole = base.clone();
-        whole.apply_batch(&updates).unwrap();
-        let mut windowed = base.clone();
-        for chunk in updates.chunks(window) {
-            windowed.apply_batch(chunk).unwrap();
-        }
-        let mut sequential = base;
-        apply_one_by_one(&mut sequential, &updates);
-        prop_assert_eq!(&whole.original_graph(), &windowed.original_graph());
-        let g_final = sequential.original_graph();
-        for v in g_final.vertices() {
-            let got = whole.query(v);
-            prop_assert_eq!(got, windowed.query(v), "windowed at {}", v);
-            prop_assert_eq!(got, sequential.query(v), "sequential at {}", v);
-            prop_assert_eq!(
-                got.map(|c| (c.length, c.count)),
-                shortest_cycle_oracle(&g_final, v),
-                "oracle at {}", v
-            );
+        for &threads in &THREAD_MATRIX {
+            check_delete_heavy_windowing(&g, &updates, window, threads)?;
         }
     }
 
@@ -333,20 +487,9 @@ proptest! {
     ) {
         let g = generators::gnm(10, 24, seed);
         let updates = resolve(&g, &script);
-        let config = CscConfig::default().with_snapshot_every(every);
-        let shared = ConcurrentIndex::new(CscIndex::build(&g, config).unwrap());
-        for chunk in updates.chunks(3) {
-            shared.apply_batch(chunk).unwrap();
+        for &threads in &THREAD_MATRIX {
+            check_concurrent_batches_snapshots(&g, &updates, every, threads);
         }
-        shared.refresh();
-        let snap = shared.snapshot();
-        shared.with_read(|idx| {
-            for v in 0..idx.original_vertex_count() as u32 {
-                let v = VertexId(v);
-                assert_eq!(snap.query(v), idx.query(v), "snapshot at {v}");
-            }
-            assert_eq!(snap.total_entries(), idx.total_entries());
-        });
     }
 }
 
@@ -358,22 +501,28 @@ fn saturated_count_demotion_inside_a_batch() {
     // path. Lengths must match the one-by-one application and the oracle.
     let widths = vec![2usize; 27];
     let g = generators::layered_cycle(&widths);
-    let base = CscIndex::build(&g, CscConfig::default()).unwrap();
-    assert!(base.query(VertexId(0)).unwrap().count >= (1 << 24) - 1);
     let updates = [
         GraphUpdate::RemoveEdge(VertexId(2), VertexId(4)),
         GraphUpdate::RemoveEdge(VertexId(5), VertexId(7)),
     ];
-    let mut batched = base.clone();
-    batched.apply_batch(&updates).unwrap();
-    let mut sequential = base;
-    apply_one_by_one(&mut sequential, &updates);
-    let g_final = sequential.original_graph();
-    for v in g_final.vertices() {
-        assert_eq!(batched.query(v), sequential.query(v), "SCCnt({v})");
+    for &threads in &THREAD_MATRIX {
+        let base = CscIndex::build(&g, cfg_at(threads)).unwrap();
+        assert!(base.query(VertexId(0)).unwrap().count >= (1 << 24) - 1);
+        let mut batched = base.clone();
+        batched.apply_batch(&updates).unwrap();
+        let mut sequential = base;
+        apply_one_by_one(&mut sequential, &updates);
+        let g_final = sequential.original_graph();
+        for v in g_final.vertices() {
+            assert_eq!(
+                batched.query(v),
+                sequential.query(v),
+                "SCCnt({v}) ({threads} threads)"
+            );
+        }
+        let oracle = shortest_cycle_oracle(&g_final, VertexId(0)).unwrap();
+        assert_eq!(batched.query(VertexId(0)).unwrap().length, oracle.0);
     }
-    let oracle = shortest_cycle_oracle(&g_final, VertexId(0)).unwrap();
-    assert_eq!(batched.query(VertexId(0)).unwrap().length, oracle.0);
 }
 
 #[test]
@@ -382,37 +531,39 @@ fn batched_deletions_take_the_indexed_carrier_path() {
     // engine must not pay the full-scan fallback for it — it builds the
     // index on demand, keeps it maintained, and never scans.
     let g = generators::gnm(18, 60, 23);
-    let config = CscConfig::default().with_inverted(false);
-    let mut idx = CscIndex::build(&g, config).unwrap();
     let updates: Vec<GraphUpdate> = g
         .edge_vec()
         .into_iter()
         .step_by(4)
         .map(|(a, b)| GraphUpdate::RemoveEdge(VertexId(a), VertexId(b)))
         .collect();
-    let report = idx.apply_batch(&updates).unwrap();
-    assert_eq!(report.edges_removed, updates.len());
-    assert_eq!(
-        report.repair.carriers_scanned, 0,
-        "the batched deletion path must never scan for carriers"
-    );
-    // Follow-up deletions keep using (and maintaining) the built index.
-    let g_now = idx.original_graph();
-    let victim = g_now.edge_vec()[0];
-    let report = idx
-        .apply_batch(&[GraphUpdate::RemoveEdge(
-            VertexId(victim.0),
-            VertexId(victim.1),
-        )])
-        .unwrap();
-    assert_eq!(report.repair.carriers_scanned, 0);
-    let g_final = idx.original_graph();
-    for v in g_final.vertices() {
+    for &threads in &THREAD_MATRIX {
+        let config = cfg_at(threads).with_inverted(false);
+        let mut idx = CscIndex::build(&g, config).unwrap();
+        let report = idx.apply_batch(&updates).unwrap();
+        assert_eq!(report.edges_removed, updates.len());
         assert_eq!(
-            idx.query(v).map(|c| (c.length, c.count)),
-            shortest_cycle_oracle(&g_final, v),
-            "SCCnt({v})"
+            report.repair.carriers_scanned, 0,
+            "the batched deletion path must never scan for carriers"
         );
+        // Follow-up deletions keep using (and maintaining) the built index.
+        let g_now = idx.original_graph();
+        let victim = g_now.edge_vec()[0];
+        let report = idx
+            .apply_batch(&[GraphUpdate::RemoveEdge(
+                VertexId(victim.0),
+                VertexId(victim.1),
+            )])
+            .unwrap();
+        assert_eq!(report.repair.carriers_scanned, 0);
+        let g_final = idx.original_graph();
+        for v in g_final.vertices() {
+            assert_eq!(
+                idx.query(v).map(|c| (c.length, c.count)),
+                shortest_cycle_oracle(&g_final, v),
+                "SCCnt({v}) ({threads} threads)"
+            );
+        }
     }
 }
 
@@ -422,29 +573,35 @@ fn overwhelming_windows_fall_back_to_rebuild_and_stay_exact() {
     // hub; the engine must take the from-scratch rebuild fallback and
     // still answer exactly like the one-by-one application.
     let g = generators::gnm(16, 64, 31);
-    let base = CscIndex::build(&g, CscConfig::default()).unwrap();
     let updates: Vec<GraphUpdate> = g
         .edge_vec()
         .into_iter()
         .step_by(2)
         .map(|(a, b)| GraphUpdate::RemoveEdge(VertexId(a), VertexId(b)))
         .collect();
-    let mut batched = base.clone();
-    let report = batched.apply_batch(&updates).unwrap();
-    assert!(
-        report.repair.rebuild_fallbacks > 0,
-        "a half-the-graph window must trip the rebuild fallback"
-    );
-    let mut sequential = base;
-    apply_one_by_one(&mut sequential, &updates);
-    let g_final = sequential.original_graph();
-    for v in g_final.vertices() {
-        let got = batched.query(v);
-        assert_eq!(got, sequential.query(v), "vs sequential at {v}");
-        assert_eq!(
-            got.map(|c| (c.length, c.count)),
-            shortest_cycle_oracle(&g_final, v),
-            "vs oracle at {v}"
+    for &threads in &THREAD_MATRIX {
+        let base = CscIndex::build(&g, cfg_at(threads)).unwrap();
+        let mut batched = base.clone();
+        let report = batched.apply_batch(&updates).unwrap();
+        assert!(
+            report.repair.rebuild_fallbacks > 0,
+            "a half-the-graph window must trip the rebuild fallback"
         );
+        let mut sequential = base;
+        apply_one_by_one(&mut sequential, &updates);
+        let g_final = sequential.original_graph();
+        for v in g_final.vertices() {
+            let got = batched.query(v);
+            assert_eq!(
+                got,
+                sequential.query(v),
+                "vs sequential at {v} ({threads} threads)"
+            );
+            assert_eq!(
+                got.map(|c| (c.length, c.count)),
+                shortest_cycle_oracle(&g_final, v),
+                "vs oracle at {v} ({threads} threads)"
+            );
+        }
     }
 }
