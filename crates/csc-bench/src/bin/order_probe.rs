@@ -1,0 +1,24 @@
+//! Quick driver for the `order_ablation` experiment at a given scale (dev
+//! tool and CI smoke): builds the G04 analog and the bridged-communities
+//! synthetic under the degree, degree-product, and coverage-sampling
+//! orders, then prints entries, build time, and query percentiles per
+//! strategy; appends JSON lines (the repo records them in
+//! `BENCH_order.json`) when `CRITERION_JSON` names a file.
+//!
+//! ```text
+//! order_probe [scale]      # default 0.05
+//! ```
+use csc_bench::experiments::{order_ablation, ExpContext};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let ctx = ExpContext {
+        scale,
+        quick: scale < 0.1,
+        ..ExpContext::default()
+    };
+    println!("{}", order_ablation::run(&ctx));
+}

@@ -15,6 +15,7 @@
 //!   churn-drift    Extension — churn drift and online rejuvenation
 //!   deletion-churn Extension — windowed deletion repair under churn
 //!   crash-recovery Extension — recovery time vs checkpoint cadence
+//!   order-ablation Extension — coverage-sampled vs degree-based ordering
 //!   all            Everything above, in order
 //!
 //! Options:
@@ -27,7 +28,7 @@
 
 use csc_bench::experiments::{
     ablation, case_study, churn_drift, crash_recovery, deletion_churn, fig10, fig11, fig12, fig9,
-    stream_replay, table4, throughput, ExpContext,
+    order_ablation, stream_replay, table4, throughput, ExpContext,
 };
 use std::process::ExitCode;
 
@@ -35,7 +36,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--seed N] [--quick] [--datasets A,B] [--out DIR] \
          <table4|fig9|fig10|fig11|fig12|case-study|throughput|stream-replay|churn-drift|\
-          deletion-churn|crash-recovery|ablation|all>"
+          deletion-churn|crash-recovery|ablation|order-ablation|all>"
     );
     std::process::exit(2);
 }
@@ -98,6 +99,7 @@ fn main() -> ExitCode {
             "deletion-churn" | "deletion_churn" => println!("{}", deletion_churn::run(ctx)),
             "crash-recovery" | "crash_recovery" => println!("{}", crash_recovery::run(ctx)),
             "ablation" => println!("{}", ablation::run(ctx)),
+            "order-ablation" | "order_ablation" => println!("{}", order_ablation::run(ctx)),
             _ => return false,
         }
         true
@@ -117,6 +119,7 @@ fn main() -> ExitCode {
             "deletion-churn",
             "crash-recovery",
             "ablation",
+            "order-ablation",
         ] {
             eprintln!("==> {name}");
             run_one(name, &ctx);

@@ -268,6 +268,14 @@ impl ConcurrentIndex {
         Ok(v)
     }
 
+    /// Retargets the ordering strategy under the write lock (see
+    /// [`CscIndex::set_order`]): the next rejuvenation migrates the
+    /// labeling to the new order; queries keep serving the current labels
+    /// until that swap.
+    pub fn set_order(&self, order: csc_graph::OrderingStrategy) -> Result<(), CscError> {
+        self.inner.write().set_order(order)
+    }
+
     /// Freezes and publishes a snapshot of the current state now,
     /// regardless of the refresh policy.
     pub fn refresh(&self) {

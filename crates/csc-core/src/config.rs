@@ -176,6 +176,12 @@ pub struct CscConfig {
     /// Vertex-ordering strategy, applied to the *original* graph; couples in
     /// the bipartite graph inherit the order with `v_i` directly above
     /// `v_o` (the couple-vertex-skipping precondition).
+    ///
+    /// The strategy is persisted in checkpoints and re-applied whenever the
+    /// maintenance plane recomputes the order, so switching a live index to
+    /// [`OrderingStrategy::CoverageSampling`] (see
+    /// [`set_order`](crate::CscIndex::set_order)) migrates the labeling to
+    /// the smaller order during its next rejuvenation.
     pub order: OrderingStrategy,
     /// Redundancy vs. minimality on updates.
     pub update_strategy: UpdateStrategy,
@@ -346,6 +352,16 @@ impl CscConfig {
                 "update_strategy Minimality requires maintain_inverted".into(),
             ));
         }
+        if let OrderingStrategy::CoverageSampling {
+            samples_per_log_n, ..
+        } = self.order
+        {
+            if samples_per_log_n == 0 {
+                return Err(CscError::Config(
+                    "order.samples_per_log_n must be >= 1 (zero trees would rank nothing)".into(),
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -463,6 +479,20 @@ mod tests {
         assert!(c.validate().is_ok());
         assert!(c.parallelism.width() == 4);
         assert!(CscConfig::default().with_threads(0).parallelism.width() >= 1);
+    }
+
+    #[test]
+    fn validate_rejects_zero_sampling_budget() {
+        let c = CscConfig::default().with_order(OrderingStrategy::CoverageSampling {
+            seed: 1,
+            samples_per_log_n: 0,
+        });
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("samples_per_log_n"), "{err}");
+        assert!(CscConfig::default()
+            .with_order(OrderingStrategy::coverage(1))
+            .validate()
+            .is_ok());
     }
 
     #[test]

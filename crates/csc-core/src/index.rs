@@ -7,7 +7,7 @@ use crate::health::{HealthBaseline, IndexHealth};
 use crate::invert::InvertedIndex;
 use crate::stats::IndexStats;
 use csc_graph::bipartite::{in_vertex, out_vertex, BipartiteGraph};
-use csc_graph::{Csr, DiGraph, RankTable, TraversalWorkspace, VertexId};
+use csc_graph::{Csr, DiGraph, OrderingStrategy, RankTable, TraversalWorkspace, VertexId};
 use csc_labeling::{BuildStats, CycleCount, DistCount, LabelEntry, LabelSide, Labels};
 use std::time::Instant;
 
@@ -244,6 +244,29 @@ impl CscIndex {
     /// a loaded checkpoint to the host it now runs on.
     pub fn set_parallelism(&mut self, parallelism: crate::config::ParallelismConfig) {
         self.config.parallelism = parallelism;
+    }
+
+    /// Retargets the ordering strategy on a live index.
+    ///
+    /// The current labels keep answering queries under the order they were
+    /// built with; the new strategy takes effect the next time the order is
+    /// *recomputed* — i.e. at the next rejuvenation, which rebuilds the
+    /// labeling under the new order and atomically swaps it in (the
+    /// migration path for moving a long-lived index onto
+    /// [`OrderingStrategy::CoverageSampling`]). Persisted by `to_bytes`, so
+    /// checkpoints taken before the rejuvenation still migrate after a
+    /// reload.
+    ///
+    /// Returns an error if the strategy fails [`CscConfig::validate`]
+    /// (e.g. a zero sampling budget).
+    pub fn set_order(&mut self, order: OrderingStrategy) -> Result<(), crate::CscError> {
+        let candidate = CscConfig {
+            order,
+            ..self.config
+        };
+        candidate.validate()?;
+        self.config.order = order;
+        Ok(())
     }
 
     /// Cumulative statistics.

@@ -276,6 +276,14 @@ impl MaintenanceEngine {
         &self.index.config().rebuild
     }
 
+    /// Retargets the ordering strategy (see [`CscIndex::set_order`]): the
+    /// next rejuvenation recomputes the order under the new strategy and
+    /// migrates the labeling to it. A rebuild already in flight keeps the
+    /// order it captured when it began.
+    pub fn set_order(&mut self, order: csc_graph::OrderingStrategy) -> Result<(), CscError> {
+        self.index.set_order(order)
+    }
+
     /// Engine lifetime counters.
     pub fn maintenance_stats(&self) -> &MaintenanceStats {
         &self.stats

@@ -67,21 +67,32 @@ const TAG_CONFIG: u8 = 4;
 const TAG_BASELINE: u8 = 5;
 const TAG_LABELS: u8 = 6;
 
-fn order_tag(o: OrderingStrategy) -> (u8, u64) {
+/// Encodes the ordering strategy as `(tag, seed, samples)`; the seed slot
+/// is shared by `Random` and `CoverageSampling`, and `samples` rides in
+/// the trailing config field new writers always emit.
+fn order_tag(o: OrderingStrategy) -> (u8, u64, u32) {
     match o {
-        OrderingStrategy::Degree => (0, 0),
-        OrderingStrategy::DegreeProduct => (1, 0),
-        OrderingStrategy::Identity => (2, 0),
-        OrderingStrategy::Random(seed) => (3, seed),
+        OrderingStrategy::Degree => (0, 0, 0),
+        OrderingStrategy::DegreeProduct => (1, 0, 0),
+        OrderingStrategy::Identity => (2, 0, 0),
+        OrderingStrategy::Random(seed) => (3, seed, 0),
+        OrderingStrategy::CoverageSampling {
+            seed,
+            samples_per_log_n,
+        } => (4, seed, samples_per_log_n),
     }
 }
 
-fn order_from_tag(tag: u8, seed: u64) -> Result<OrderingStrategy, CscError> {
+fn order_from_tag(tag: u8, seed: u64, samples: u32) -> Result<OrderingStrategy, CscError> {
     Ok(match tag {
         0 => OrderingStrategy::Degree,
         1 => OrderingStrategy::DegreeProduct,
         2 => OrderingStrategy::Identity,
         3 => OrderingStrategy::Random(seed),
+        4 => OrderingStrategy::CoverageSampling {
+            seed,
+            samples_per_log_n: samples,
+        },
         _ => return Err(CscError::Serial(format!("unknown ordering tag {tag}"))),
     })
 }
@@ -187,8 +198,8 @@ impl CscIndex {
             ranks.put_u32_le(self.ranks.vertex_at_rank(rank).0);
         }
 
-        let mut config = BytesMut::with_capacity(47);
-        let (tag, seed) = order_tag(self.config.order);
+        let mut config = BytesMut::with_capacity(51);
+        let (tag, seed, samples) = order_tag(self.config.order);
         config.put_u8(tag);
         config.put_u64_le(seed);
         config.put_u8(match self.config.update_strategy {
@@ -215,6 +226,10 @@ impl CscIndex {
         // so a reloaded engine keeps its operator-tuned width.
         config.put_u32_le(self.config.parallelism.threads);
         config.put_u8(self.config.parallelism.deterministic as u8);
+        // Trailing ordering argument (the coverage-sampling budget);
+        // appended after the parallelism knobs so both older payload
+        // lengths (39 and 47 bytes) still load with defaults.
+        config.put_u32_le(samples);
 
         let mut baseline = BytesMut::with_capacity(32);
         baseline.put_u64_le(self.baseline.entries as u64);
@@ -386,8 +401,16 @@ impl CscIndex {
         } else {
             ParallelismConfig::default()
         };
+        // The ordering argument trails the parallelism knobs (added with
+        // ordering tag 4); shorter payloads predate every strategy that
+        // needs it, so 0 is safe.
+        let samples = if p.remaining() >= 4 {
+            p.get_u32_le()
+        } else {
+            0
+        };
         let config = CscConfig {
-            order: order_from_tag(tag, seed)?,
+            order: order_from_tag(tag, seed, samples)?,
             update_strategy: strategy,
             maintain_inverted,
             snapshot_every,
@@ -577,6 +600,19 @@ mod tests {
     }
 
     #[test]
+    fn coverage_sampling_order_survives_the_roundtrip() {
+        let config = CscConfig::default().with_order(OrderingStrategy::CoverageSampling {
+            seed: 0xDEAD_BEEF,
+            samples_per_log_n: 7,
+        });
+        let idx = CscIndex::build(&figure2(), config).unwrap();
+        let back = CscIndex::from_bytes(&idx.to_bytes().unwrap()).unwrap();
+        assert_eq!(back.config().order, config.order);
+        assert_eq!(back.ranks(), idx.ranks());
+        assert_eq!(back.labels(), idx.labels());
+    }
+
+    #[test]
     fn legacy_39_byte_config_payload_defaults_parallelism() {
         // Pre-parallelism checkpoints carried a 39-byte config payload;
         // loading one must succeed with default parallelism knobs rather
@@ -590,7 +626,10 @@ mod tests {
         }
         assert_eq!(bytes[off], TAG_CONFIG);
         let len = u64::from_le_bytes(bytes[off + 1..off + 9].try_into().unwrap()) as usize;
-        assert_eq!(len, 47, "config payload = 42 legacy + 5 parallelism bytes");
+        assert_eq!(
+            len, 51,
+            "config payload = 42 legacy + 5 parallelism + 4 ordering-arg bytes"
+        );
         // Shrink the section to its legacy length and re-frame.
         let payload_at = off + 13;
         bytes.drain(payload_at + 42..payload_at + len);

@@ -108,6 +108,44 @@ pub fn small_world(n: usize, k: usize, rewire_prob: f64, seed: u64) -> DiGraph {
     g
 }
 
+/// Random communities stitched by a sparse bidirectional bridge ring.
+///
+/// Each of the `communities` blocks of `size` vertices gets `intra_edges`
+/// uniform random internal edges; block `c`'s first vertex is linked both
+/// ways to block `c + 1`'s. Degrees are nearly flat, so degree orders are
+/// uninformative here while the bridge vertices dominate inter-community
+/// shortest paths — the fixture where coverage-sampled hub orders beat
+/// degree orders most clearly.
+pub fn bridged_communities(
+    communities: usize,
+    size: usize,
+    intra_edges: usize,
+    seed: u64,
+) -> DiGraph {
+    assert!(communities >= 2 && size >= 2, "need at least 2x2 vertices");
+    let n = communities * size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DiGraph::new(n);
+    for c in 0..communities {
+        let base = (c * size) as u32;
+        let mut added = 0;
+        let mut attempts = 0usize;
+        let max_attempts = intra_edges.saturating_mul(20) + 100;
+        while added < intra_edges && attempts < max_attempts {
+            attempts += 1;
+            let u = base + rng.gen_range(0..size as u32);
+            let v = base + rng.gen_range(0..size as u32);
+            if u != v && g.try_add_edge(VertexId(u), VertexId(v)).is_ok() {
+                added += 1;
+            }
+        }
+        let next = (((c + 1) % communities) * size) as u32;
+        let _ = g.try_add_edge(VertexId(base), VertexId(next));
+        let _ = g.try_add_edge(VertexId(next), VertexId(base));
+    }
+    g
+}
+
 /// Adds `count` uniform random extra edges to `g` (skipping duplicates and
 /// self-loops; gives up after a bounded number of rejections so callers can
 /// sprinkle noise onto dense graphs safely). Returns the number added.
@@ -387,6 +425,28 @@ mod tests {
         // Shortest cycles through a layer-0 vertex: one per choice of the
         // other layers' vertices = 3 * 2.
         assert_eq!(shortest_cycle_oracle(&g, VertexId(0)), Some((3, 6)));
+    }
+
+    #[test]
+    fn bridged_communities_shape() {
+        let g = bridged_communities(4, 25, 60, 7);
+        g.validate().unwrap();
+        assert_eq!(g.vertex_count(), 100);
+        // 4 * 60 intra + 8 bridge edges (minus rare duplicate rejections).
+        assert!(g.edge_count() >= 240 && g.edge_count() <= 248);
+        assert_eq!(g, bridged_communities(4, 25, 60, 7), "seeded");
+        // The bridge ring is bidirectional: community heads form 2-cycles.
+        for c in 0..4u32 {
+            let a = VertexId(c * 25);
+            let b = VertexId(((c + 1) % 4) * 25);
+            assert!(g.has_edge(a, b) && g.has_edge(b, a));
+        }
+        // Non-bridge edges stay inside their community.
+        for (u, v) in g.edges() {
+            if u.0 % 25 != 0 || v.0 % 25 != 0 {
+                assert_eq!(u.0 / 25, v.0 / 25, "edge {u}->{v} crosses communities");
+            }
+        }
     }
 
     #[test]

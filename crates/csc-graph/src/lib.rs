@@ -43,7 +43,9 @@ pub use bipartite::BipartiteGraph;
 pub use csr::Csr;
 pub use digraph::DiGraph;
 pub use error::GraphError;
-pub use order::{OrderingStrategy, Rank, RankTable};
+pub use order::{
+    coverage_sampling_order, OrderingStrategy, Rank, RankTable, DEFAULT_SAMPLES_PER_LOG_N,
+};
 pub use traversal::{
     BucketQueue, DistMap, PooledWorkspace, SweepHandle, SweepMaps, TraversalWorkspace,
     WorkspacePool, UNREACHED,

@@ -236,6 +236,112 @@ impl TraversalWorkspace {
     pub fn map(&self, h: SweepHandle) -> &DistMap {
         &self.maps[h.0]
     }
+
+    /// Full single-source BFS that records the *tree* (discovery parents)
+    /// instead of distances — the sampling primitive behind the
+    /// coverage-sampled hub order (see `order::coverage_sampling_order`).
+    ///
+    /// The visited set is a pooled [`DistMap`] claimed and recycled
+    /// internally (no handle escapes), so repeated calls on one workspace
+    /// run allocation-free apart from the returned tree itself. The tree
+    /// is canonical: neighbors are scanned in adjacency order, so the
+    /// result depends only on the graph, `src`, and `forward`.
+    pub fn bfs_tree(&mut self, g: &DiGraph, src: VertexId, forward: bool) -> BfsTree {
+        self.ensure(g.vertex_count());
+        let live_before = self.live;
+        let h = self.claim();
+        let map = &mut self.maps[h];
+        let mut nodes: Vec<u32> = vec![src.0];
+        let mut parent: Vec<u32> = vec![u32::MAX];
+        map.set(src, 0);
+        let mut head = 0usize;
+        while head < nodes.len() {
+            let w = VertexId(nodes[head]);
+            let dw = map.get(w);
+            let nbrs = if forward { g.nbr_out(w) } else { g.nbr_in(w) };
+            for &u in nbrs {
+                if !map.reached(VertexId(u)) {
+                    map.set(VertexId(u), dw + 1);
+                    parent.push(head as u32);
+                    nodes.push(u);
+                }
+            }
+            head += 1;
+        }
+        // BFS appends each popped node's undiscovered neighbors
+        // consecutively, so the children of node `i` occupy one contiguous
+        // range and the (root-excluded) parent array is non-decreasing:
+        // one scan derives every range.
+        let len = nodes.len();
+        let mut child_start = vec![0u32; len + 1];
+        let mut j = 1usize;
+        for (i, slot) in child_start.iter_mut().enumerate().take(len) {
+            *slot = j as u32;
+            while j < len && parent[j] as usize == i {
+                j += 1;
+            }
+        }
+        child_start[len] = len as u32;
+        // The visited map was scratch only: un-claim it so the caller's
+        // outstanding handles and pool occupancy are untouched.
+        self.live = live_before;
+        BfsTree {
+            nodes,
+            parent,
+            child_start,
+        }
+    }
+}
+
+/// A single-source BFS tree in discovery order, built by
+/// [`TraversalWorkspace::bfs_tree`].
+///
+/// Node `i` is the `i`-th discovered vertex (node 0 is the root). Parents
+/// precede children, and each node's children occupy one contiguous index
+/// range — the two structural facts the coverage-sampling order exploits
+/// for linear-time subtree accumulation and stack-based subtree cuts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BfsTree {
+    /// Vertex ids in discovery (BFS) order.
+    nodes: Vec<u32>,
+    /// Parent *node index* of each node; `u32::MAX` at the root.
+    parent: Vec<u32>,
+    /// `child_start[i]..child_start[i + 1]` are node `i`'s children.
+    child_start: Vec<u32>,
+}
+
+impl BfsTree {
+    /// Number of vertices reached (the root is always included).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` only for a default-constructed tree; a built tree always
+    /// holds at least its root.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The vertex at node index `i`.
+    #[inline]
+    pub fn vertex(&self, i: usize) -> VertexId {
+        VertexId(self.nodes[i])
+    }
+
+    /// The parent node index of node `i`, or `None` at the root.
+    #[inline]
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        let p = self.parent[i];
+        (p != u32::MAX).then_some(p as usize)
+    }
+
+    /// The node-index range of node `i`'s children.
+    #[inline]
+    pub fn children(&self, i: usize) -> std::ops::Range<usize> {
+        self.child_start[i] as usize..self.child_start[i + 1] as usize
+    }
 }
 
 /// A read-only view of a [`TraversalWorkspace`]'s claimed maps (see
@@ -631,6 +737,69 @@ mod tests {
         assert_eq!(ws.map(h).get(v(2)), 2, "the limit itself is recorded");
         assert_eq!(ws.map(h).get(v(3)), UNREACHED, "beyond the limit is not");
         assert_eq!(ws.map(h).max_dist(), 2);
+    }
+
+    #[test]
+    fn bfs_tree_shape_on_a_diamond() {
+        // 0 -> {1, 2} -> 3: node order 0, 1, 2, 3; 3 is discovered via 1.
+        let g = DiGraph::from_edges(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let mut ws = TraversalWorkspace::new(4);
+        let t = ws.bfs_tree(&g, v(0), true);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(
+            (0..4).map(|i| t.vertex(i).0).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(t.parent(0), None);
+        assert_eq!(t.parent(1), Some(0));
+        assert_eq!(t.parent(2), Some(0));
+        assert_eq!(t.parent(3), Some(1), "first discovery wins");
+        assert_eq!(t.children(0), 1..3);
+        assert_eq!(t.children(1), 3..4);
+        assert_eq!(t.children(2), 4..4);
+        assert_eq!(t.children(3), 4..4);
+        // The scratch map was recycled: no live handles remain.
+        assert_eq!(ws.live(), 0);
+        // Backward tree from 3 mirrors the structure.
+        let b = ws.bfs_tree(&g, v(3), false);
+        assert_eq!(b.vertex(0), v(3));
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.parent(3), Some(1), "0 discovered via 1 (adjacency order)");
+    }
+
+    #[test]
+    fn bfs_tree_matches_bfs_distances() {
+        let g = crate::generators::gnm(40, 120, 9);
+        let mut ws = TraversalWorkspace::new(g.vertex_count());
+        for src in [v(0), v(13), v(39)] {
+            for forward in [true, false] {
+                let t = ws.bfs_tree(&g, src, forward);
+                let reference = bfs_distances_dir(&g, src, forward);
+                let reached = reference.iter().filter(|d| d.is_some()).count();
+                assert_eq!(t.len(), reached, "tree spans exactly the reachable set");
+                // Depth along parent pointers equals the BFS distance.
+                for i in 0..t.len() {
+                    let mut depth = 0u32;
+                    let mut a = i;
+                    while let Some(p) = t.parent(a) {
+                        depth += 1;
+                        a = p;
+                    }
+                    assert_eq!(Some(depth), reference[t.vertex(i).index()]);
+                }
+                // Child ranges partition 1..len and invert parent().
+                let mut seen = vec![false; t.len()];
+                for i in 0..t.len() {
+                    for c in t.children(i) {
+                        assert!(!seen[c]);
+                        seen[c] = true;
+                        assert_eq!(t.parent(c), Some(i));
+                    }
+                }
+                assert!(seen[1..].iter().all(|&s| s));
+            }
+        }
     }
 
     #[test]

@@ -65,6 +65,7 @@ proptest! {
             OrderingStrategy::DegreeProduct,
             OrderingStrategy::Identity,
             OrderingStrategy::Random(seed),
+            OrderingStrategy::coverage(seed),
         ];
         let indexes: Vec<_> = orders
             .iter()

@@ -114,6 +114,39 @@ proptest! {
     }
 
     #[test]
+    fn every_ordering_strategy_survives_churn(
+        n in 6usize..16,
+        m_seed in any::<u64>(),
+        ops in arb_ops(12),
+        seed in any::<u64>(),
+    ) {
+        // The repair paths consult ranks on every hop; an index built
+        // under any strategy — the sampled coverage order included —
+        // must stay oracle-exact through arbitrary churn.
+        let m = (m_seed as usize) % (n * 2 + 1);
+        let orders = [
+            OrderingStrategy::Degree,
+            OrderingStrategy::DegreeProduct,
+            OrderingStrategy::Identity,
+            OrderingStrategy::Random(seed),
+            OrderingStrategy::coverage(seed),
+        ];
+        for order in orders {
+            let mut g = generators::gnm(n, m, m_seed);
+            let mut index =
+                CscIndex::build(&g, CscConfig::default().with_order(order)).unwrap();
+            apply_ops(&mut g, &mut index, &ops);
+            for v in g.vertices() {
+                prop_assert_eq!(
+                    index.query(v).map(|c| (c.length, c.count)),
+                    shortest_cycle_oracle(&g, v),
+                    "order {:?} diverged from oracle at {}", order, v
+                );
+            }
+        }
+    }
+
+    #[test]
     fn vertex_growth_interleaves_with_updates(
         ops in arb_ops(10),
         extra in 1usize..4,

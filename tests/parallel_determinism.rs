@@ -14,6 +14,7 @@
 use csc::graph::generators;
 use csc::graph::traversal::shortest_cycle_oracle;
 use csc::prelude::*;
+use proptest::prelude::*;
 
 /// Widths compared against the width-1 serial reference.
 const PARALLEL_WIDTHS: [u32; 2] = [2, 4];
@@ -148,6 +149,38 @@ fn relaxed_mode_is_query_exact_even_when_bytes_may_drift() {
                 idx.query(v).map(|c| (c.length, c.count)),
                 shortest_cycle_oracle(&g, v),
                 "relaxed build at width {w}: SCCnt({v})"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Coverage sampling fans its BFS trees out over the worker pool, but
+    /// the greedy consumes them in sample order: for a fixed seed the
+    /// entire index — ranks, labels, checkpoint bytes — is identical at
+    /// every width, on arbitrary graphs.
+    #[test]
+    fn coverage_sampled_builds_are_byte_identical_across_widths(
+        n in 10usize..30,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::gnm(n, n * 3, seed);
+        let config = |w: u32| {
+            CscConfig::default()
+                .with_threads(w)
+                .with_order(OrderingStrategy::coverage(seed))
+        };
+        let reference = canonical_bytes(&CscIndex::build(&g, config(1)).unwrap());
+        for &w in &PARALLEL_WIDTHS {
+            let parallel = canonical_bytes(&CscIndex::build(&g, config(w)).unwrap());
+            prop_assert_eq!(
+                &parallel,
+                &reference,
+                "coverage build at width {} diverges from serial bytes (seed {})",
+                w,
+                seed
             );
         }
     }

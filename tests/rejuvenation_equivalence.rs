@@ -201,6 +201,59 @@ fn check_facade_rejuvenation_snapshot(
     Ok(())
 }
 
+/// Order migration: a live index built under the degree order can switch
+/// to coverage sampling with `set_order` and have the next rejuvenation
+/// re-rank under it — no restart, no downtime. On a bridged-communities
+/// topology (whose inter-community hubs a degree order under-ranks) the
+/// migrated index must both stay scratch-equivalent and come out
+/// *strictly smaller* than the drifted degree-ordered labels it replaces.
+#[test]
+fn rejuvenation_migrates_degree_index_to_coverage_order() {
+    let g = generators::bridged_communities(4, 16, 48, 9);
+    for &threads in &THREAD_MATRIX {
+        let config = CscConfig::default().with_threads(threads);
+        assert_eq!(config.order, OrderingStrategy::Degree, "seed order");
+        let mut engine = MaintenanceEngine::new(CscIndex::build(&g, config).unwrap());
+
+        // Churn: flap a spread of existing edges and wire in one fresh
+        // vertex, so the rebuild starts from drifted labels.
+        let edges = g.edge_vec();
+        let mut churn: Vec<GraphUpdate> = Vec::new();
+        for &(a, b) in edges.iter().step_by(7) {
+            churn.push(GraphUpdate::RemoveEdge(VertexId(a), VertexId(b)));
+            churn.push(GraphUpdate::InsertEdge(VertexId(a), VertexId(b)));
+        }
+        churn.push(GraphUpdate::AddVertex);
+        let nv = VertexId(g.vertex_count() as u32);
+        churn.push(GraphUpdate::InsertEdge(nv, VertexId(0)));
+        churn.push(GraphUpdate::InsertEdge(VertexId(1), nv));
+        engine.apply_batch(&churn).unwrap();
+        let drifted_entries = engine.index().total_entries();
+
+        engine.set_order(OrderingStrategy::coverage(9)).unwrap();
+        assert!(
+            matches!(
+                engine.index().config().order,
+                OrderingStrategy::CoverageSampling { .. }
+            ),
+            "set_order takes effect immediately in config"
+        );
+        engine.begin_rejuvenation(RebuildReason::Manual).unwrap();
+        while engine.step(16).unwrap() != MaintenanceStatus::Serving {}
+
+        assert_equivalent(
+            engine.index(),
+            &format!("coverage migration ({threads} threads)"),
+        );
+        let migrated_entries = engine.index().total_entries();
+        assert!(
+            migrated_entries < drifted_entries,
+            "coverage rejuvenation must shrink the index \
+             ({migrated_entries} vs {drifted_entries}, {threads} threads)"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
