@@ -1,0 +1,25 @@
+//! Quick driver for the `overload_surge` experiment at a given scale
+//! (dev tool and CI smoke): reader p50/p99 against an idle index vs a
+//! write surge under each `OverloadPolicy`, deadline hit rates for girth
+//! sweeps, and recovery timing (with transient I/O faults armed too when
+//! built with `--features fault-injection`). Appends JSON lines (the
+//! repo records them in `BENCH_overload.json`) when `CRITERION_JSON`
+//! names a file.
+//!
+//! ```text
+//! overload_probe [scale]      # default 0.05
+//! ```
+use csc_bench::experiments::{overload_surge, ExpContext};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let ctx = ExpContext {
+        scale,
+        quick: scale < 0.1,
+        ..ExpContext::default()
+    };
+    println!("{}", overload_surge::run(&ctx));
+}

@@ -16,6 +16,7 @@
 //!   deletion-churn Extension — windowed deletion repair under churn
 //!   crash-recovery Extension — recovery time vs checkpoint cadence
 //!   order-ablation Extension — coverage-sampled vs degree-based ordering
+//!   overload-surge Extension — reader latency under overload & deadlines
 //!   all            Everything above, in order
 //!
 //! Options:
@@ -28,7 +29,7 @@
 
 use csc_bench::experiments::{
     ablation, case_study, churn_drift, crash_recovery, deletion_churn, fig10, fig11, fig12, fig9,
-    order_ablation, stream_replay, table4, throughput, ExpContext,
+    order_ablation, overload_surge, stream_replay, table4, throughput, ExpContext,
 };
 use std::process::ExitCode;
 
@@ -36,7 +37,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale F] [--seed N] [--quick] [--datasets A,B] [--out DIR] \
          <table4|fig9|fig10|fig11|fig12|case-study|throughput|stream-replay|churn-drift|\
-          deletion-churn|crash-recovery|ablation|order-ablation|all>"
+          deletion-churn|crash-recovery|ablation|order-ablation|overload-surge|all>"
     );
     std::process::exit(2);
 }
@@ -100,6 +101,7 @@ fn main() -> ExitCode {
             "crash-recovery" | "crash_recovery" => println!("{}", crash_recovery::run(ctx)),
             "ablation" => println!("{}", ablation::run(ctx)),
             "order-ablation" | "order_ablation" => println!("{}", order_ablation::run(ctx)),
+            "overload-surge" | "overload_surge" => println!("{}", overload_surge::run(ctx)),
             _ => return false,
         }
         true
@@ -120,6 +122,7 @@ fn main() -> ExitCode {
             "crash-recovery",
             "ablation",
             "order-ablation",
+            "overload-surge",
         ] {
             eprintln!("==> {name}");
             run_one(name, &ctx);

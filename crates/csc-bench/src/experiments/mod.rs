@@ -10,6 +10,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig9;
 pub mod order_ablation;
+pub mod overload_surge;
 pub mod stream_replay;
 pub mod table4;
 pub mod throughput;

@@ -110,7 +110,9 @@ impl CscIndex {
 
 /// Shared girth accumulator: minimum cycle length and how many vertices
 /// realize it, over per-vertex `SCCnt` results in id order.
-fn girth_fold(results: impl Iterator<Item = Option<CycleCount>>) -> Option<(u32, usize)> {
+pub(crate) fn girth_fold(
+    results: impl Iterator<Item = Option<CycleCount>>,
+) -> Option<(u32, usize)> {
     let mut best: Option<(u32, usize)> = None;
     for c in results.flatten() {
         best = Some(match best {
@@ -126,7 +128,7 @@ fn girth_fold(results: impl Iterator<Item = Option<CycleCount>>) -> Option<(u32,
 /// Shared top-k screening: filter by `max_length`, order by count
 /// descending / length ascending / vertex id, truncate to `k`. Takes
 /// per-vertex `SCCnt` results in id order.
-fn rank_by_cycle_count(
+pub(crate) fn rank_by_cycle_count(
     results: impl Iterator<Item = Option<CycleCount>>,
     k: usize,
     max_length: u32,

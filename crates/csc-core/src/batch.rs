@@ -377,10 +377,39 @@ impl CscIndex {
     /// mid-batch poisons the index (see [`CscIndex::is_poisoned`]), like
     /// the single-update paths.
     pub fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Result<BatchReport, CscError> {
+        self.apply_batch_inner(updates, crate::guard::Deadline::NONE)
+    }
+
+    /// [`apply_batch`](Self::apply_batch) under a wall-clock deadline.
+    ///
+    /// The deadline is checked at **admission** and once more after the
+    /// read-only normalization (planning) pass; both abort with
+    /// [`CscError::DeadlineExceeded`] and *no observable effect* — the
+    /// caller may retry the identical batch later and get the identical
+    /// result. Once mutation begins the batch runs to completion: a
+    /// half-applied window is never exposed, so a deadline can bound
+    /// *when* a batch starts, not how long its commit takes.
+    pub fn apply_batch_deadline(
+        &mut self,
+        updates: &[GraphUpdate],
+        deadline: crate::guard::Deadline,
+    ) -> Result<BatchReport, CscError> {
+        deadline.admit()?;
+        self.apply_batch_inner(updates, deadline)
+    }
+
+    fn apply_batch_inner(
+        &mut self,
+        updates: &[GraphUpdate],
+        deadline: crate::guard::Deadline,
+    ) -> Result<BatchReport, CscError> {
         self.check_ready()?;
         faultpoint!("batch.begin");
         let start = Instant::now();
         let norm = self.normalize_batch(updates);
+        // Planning checkpoint: normalization is read-only, so an exceeded
+        // deadline still aborts with nothing mutated.
+        deadline.admit()?;
         let mut report = BatchReport {
             updates_submitted: updates.len(),
             cancelled: norm.cancelled,

@@ -135,6 +135,12 @@ impl CoupleBfs {
         (&mut self.state, &mut self.cache)
     }
 
+    /// Heap bytes held by the BFS state and hub cache (memory-budget
+    /// accounting).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.state.heap_bytes() + self.cache.heap_bytes()
+    }
+
     /// Writes one entry according to `mode`, maintaining the inverted index
     /// and counters. Returns the error on capacity overflow.
     #[allow(clippy::too_many_arguments)]

@@ -208,6 +208,17 @@ impl ConcurrentIndex {
         self.inner.read().index().query(v)
     }
 
+    /// [`query`](Self::query) under a wall-clock deadline (see
+    /// [`SnapshotIndex::query_deadline`]). Lock-free like `query`; the
+    /// deadline only bounds the label intersection itself.
+    pub fn query_deadline(
+        &self,
+        v: VertexId,
+        deadline: crate::Deadline,
+    ) -> Result<Option<CycleCount>, CscError> {
+        self.snapshot.read().query_deadline(v, deadline)
+    }
+
     /// Evaluates `f` over the live index under its read lock (for batch
     /// reads that need the very latest consistent state).
     pub fn with_read<R>(&self, f: impl FnOnce(&CscIndex) -> R) -> R {
@@ -253,6 +264,26 @@ impl ConcurrentIndex {
     pub fn apply_batch(&self, updates: &[GraphUpdate]) -> Result<BatchReport, CscError> {
         let mut guard = self.inner.write();
         let report = guard.apply_batch(updates)?;
+        self.after_updates(&mut guard, report.applied_updates());
+        Ok(report)
+    }
+
+    /// [`apply_batch`](Self::apply_batch) under a wall-clock deadline.
+    ///
+    /// The deadline is checked before contending for the write lock and
+    /// again at engine admission once the lock is held — so a batch that
+    /// spent its whole budget queueing behind other writers is refused
+    /// with no observable effect (in particular, never WAL-logged). Once
+    /// admitted the batch runs to completion; see
+    /// [`MaintenanceEngine::apply_batch_deadline`](crate::MaintenanceEngine::apply_batch_deadline).
+    pub fn apply_batch_deadline(
+        &self,
+        updates: &[GraphUpdate],
+        deadline: crate::Deadline,
+    ) -> Result<BatchReport, CscError> {
+        deadline.admit()?;
+        let mut guard = self.inner.write();
+        let report = guard.apply_batch_deadline(updates, deadline)?;
         self.after_updates(&mut guard, report.applied_updates());
         Ok(report)
     }

@@ -1,6 +1,7 @@
 //! Index configuration.
 
 use crate::error::CscError;
+use crate::guard::RetryPolicy;
 use crate::health::RebuildPolicy;
 use csc_graph::OrderingStrategy;
 
@@ -71,6 +72,13 @@ pub struct DurabilityConfig {
     /// at the end of every recovery, degrading the engine instead of
     /// serving a structurally broken index.
     pub check_integrity: bool,
+    /// Retry schedule for transient I/O failures on the durability plane
+    /// (WAL append/fsync, checkpoint write/rename/dir-sync, recovery
+    /// reads). When every attempt fails — or the failure is persistent
+    /// (`ENOSPC`-class) — the engine degrades durability to a loud
+    /// in-memory-only mode instead of poisoning the writer. Persisted at
+    /// microsecond resolution.
+    pub io_retry: RetryPolicy,
 }
 
 impl Default for DurabilityConfig {
@@ -80,6 +88,7 @@ impl Default for DurabilityConfig {
             checkpoint_every: 64,
             keep_checkpoints: 2,
             check_integrity: false,
+            io_retry: RetryPolicy::DEFAULT_IO,
         }
     }
 }
@@ -100,7 +109,91 @@ impl DurabilityConfig {
                 "durability.fsync Every(0) is degenerate; use Always or Every(n >= 1)".into(),
             );
         }
+        if self.io_retry.max_attempts == 0 {
+            return Err("durability.io_retry.max_attempts must be >= 1 (the first try)".into());
+        }
+        if self.io_retry.base > self.io_retry.cap && self.io_retry.max_attempts > 1 {
+            return Err("durability.io_retry.base must be <= cap when retries are enabled".into());
+        }
         Ok(())
+    }
+}
+
+/// What a write meets when the pending-write queue is at its high
+/// watermark (see [`OverloadConfig`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Admit the write, but first *synchronously drive* the maintenance
+    /// plane ([`MaintenanceEngine::step`](crate::MaintenanceEngine::step))
+    /// until the queue drains below the low watermark. The caller pays
+    /// the drain latency — classic blocking backpressure; no update is
+    /// ever lost or refused. The default.
+    #[default]
+    Block,
+    /// Refuse the write with [`CscError::Overloaded`](crate::CscError)
+    /// and count it in [`IndexHealth::writes_rejected`](crate::IndexHealth::writes_rejected).
+    /// The caller owns the retry; readers see zero added latency.
+    Reject,
+    /// Admit the write by dropping the *oldest* queued update, counted in
+    /// [`IndexHealth::writes_shed`](crate::IndexHealth::writes_shed).
+    /// **Lossy**: the index diverges from the full update stream, which
+    /// only suits workloads that tolerate approximate freshness. The shed
+    /// counter is the loud part of the contract.
+    ShedOldest,
+}
+
+/// Backpressure on the maintenance plane's pending-write queue.
+///
+/// During a rejuvenation, writes are absorbed into a replay queue and
+/// drained by [`step`](crate::MaintenanceEngine::step) calls. Unbounded,
+/// a write surge can grow that queue without limit; these watermarks
+/// bound it. With `high_watermark == 0` (the default) the queue is
+/// unbounded and this configuration is inert.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverloadConfig {
+    /// What happens at the high watermark. See [`OverloadPolicy`].
+    pub policy: OverloadPolicy,
+    /// Queue depth (in updates) at which `policy` engages. `0` disables
+    /// backpressure entirely.
+    pub high_watermark: u32,
+    /// Queue depth [`OverloadPolicy::Block`] drains down to before
+    /// admitting the blocked write; also where a rejecting engine starts
+    /// accepting again. Must be `< high_watermark` when backpressure is
+    /// enabled.
+    pub low_watermark: u32,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            policy: OverloadPolicy::Block,
+            high_watermark: 0,
+            low_watermark: 0,
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// Rejects inverted watermarks; called from [`CscConfig::validate`].
+    pub fn validate(&self) -> Result<(), String> {
+        if self.high_watermark > 0 && self.low_watermark >= self.high_watermark {
+            return Err(format!(
+                "overload.low_watermark ({}) must be < high_watermark ({}); equal watermarks \
+                 would re-engage the policy on every write",
+                self.low_watermark, self.high_watermark
+            ));
+        }
+        Ok(())
+    }
+
+    /// `true` when a queue of `depth` updates must engage the policy.
+    pub fn over_high(&self, depth: usize) -> bool {
+        self.high_watermark > 0 && depth >= self.high_watermark as usize
+    }
+
+    /// `true` once a draining queue has fallen below the low watermark.
+    pub fn under_low(&self, depth: usize) -> bool {
+        depth <= self.low_watermark as usize
     }
 }
 
@@ -225,6 +318,17 @@ pub struct CscConfig {
     /// Runtime-only: they never change what the index contains. See
     /// [`ParallelismConfig`].
     pub parallelism: ParallelismConfig,
+    /// Backpressure on the maintenance plane's pending-write queue
+    /// (watermarks + [`OverloadPolicy`]). Inert at the default
+    /// (`high_watermark == 0`). See [`OverloadConfig`].
+    pub overload: OverloadConfig,
+    /// Soft ceiling, in bytes, on the index's tracked heap footprint
+    /// (label arenas + traversal workspaces + pending-write queue). A
+    /// breach first forces a compaction attempt; if the footprint still
+    /// exceeds the budget the engine enters the `Saturated` state and
+    /// refuses writes (readers are unaffected) until it fits again. `0`
+    /// (the default) disables the budget.
+    pub memory_budget: usize,
 }
 
 impl Default for CscConfig {
@@ -237,6 +341,8 @@ impl Default for CscConfig {
             rebuild: RebuildPolicy::default(),
             durability: DurabilityConfig::default(),
             parallelism: ParallelismConfig::default(),
+            overload: OverloadConfig::default(),
+            memory_budget: 0,
         }
     }
 }
@@ -324,6 +430,37 @@ impl CscConfig {
         self
     }
 
+    /// Builder-style: set the backpressure configuration. See
+    /// [`OverloadConfig`].
+    pub fn with_overload(mut self, overload: OverloadConfig) -> Self {
+        self.overload = overload;
+        self
+    }
+
+    /// Builder-style: set the overload policy with the given watermarks
+    /// (shorthand for [`with_overload`](Self::with_overload)).
+    pub fn with_overload_policy(mut self, policy: OverloadPolicy, high: u32, low: u32) -> Self {
+        self.overload = OverloadConfig {
+            policy,
+            high_watermark: high,
+            low_watermark: low,
+        };
+        self
+    }
+
+    /// Builder-style: set the memory budget in bytes (`0` = unlimited).
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
+    /// Builder-style: set the durability plane's transient-I/O retry
+    /// schedule. See [`RetryPolicy`].
+    pub fn with_io_retry(mut self, retry: RetryPolicy) -> Self {
+        self.durability.io_retry = retry;
+        self
+    }
+
     /// Rejects degenerate configurations. Called by `CscIndex::build` and
     /// `CscIndex::from_bytes`, so an invalid configuration can never reach
     /// a live index.
@@ -347,6 +484,7 @@ impl CscConfig {
         self.rebuild.validate().map_err(CscError::Config)?;
         self.durability.validate().map_err(CscError::Config)?;
         self.parallelism.validate().map_err(CscError::Config)?;
+        self.overload.validate().map_err(CscError::Config)?;
         if self.update_strategy == UpdateStrategy::Minimality && !self.maintain_inverted {
             return Err(CscError::Config(
                 "update_strategy Minimality requires maintain_inverted".into(),
@@ -504,6 +642,51 @@ mod tests {
             .with_threads(MAX_THREADS)
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn overload_defaults_are_inert_and_watermarks_validate() {
+        let o = OverloadConfig::default();
+        assert_eq!(o.policy, OverloadPolicy::Block);
+        assert_eq!(o.high_watermark, 0, "backpressure off by default");
+        assert!(!o.over_high(usize::MAX), "0 watermark never engages");
+        assert!(CscConfig::default().validate().is_ok());
+
+        let c = CscConfig::default().with_overload_policy(OverloadPolicy::Reject, 8, 8);
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("low_watermark"), "{err}");
+        let c = CscConfig::default().with_overload_policy(OverloadPolicy::Reject, 8, 2);
+        assert!(c.validate().is_ok());
+        assert!(c.overload.over_high(8) && !c.overload.over_high(7));
+        assert!(c.overload.under_low(2) && !c.overload.under_low(3));
+    }
+
+    #[test]
+    fn memory_budget_and_io_retry_builders() {
+        let c = CscConfig::default().with_memory_budget(1 << 20);
+        assert_eq!(c.memory_budget, 1 << 20);
+        assert_eq!(
+            CscConfig::default().memory_budget,
+            0,
+            "unlimited by default"
+        );
+
+        let r = crate::guard::RetryPolicy::new(
+            3,
+            std::time::Duration::from_millis(1),
+            std::time::Duration::from_millis(8),
+        );
+        let c = CscConfig::default().with_io_retry(r);
+        assert_eq!(c.durability.io_retry, r);
+        assert!(c.validate().is_ok());
+
+        let bad = CscConfig::default().with_io_retry(crate::guard::RetryPolicy {
+            max_attempts: 2,
+            base: std::time::Duration::from_millis(9),
+            cap: std::time::Duration::from_millis(1),
+        });
+        let err = bad.validate().unwrap_err();
+        assert!(err.to_string().contains("io_retry"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! Deadline-bounded query entry points on [`CscIndex`] and
+//! [`SnapshotIndex`].
+//!
+//! Every variant here mirrors its unbounded twin exactly — same
+//! arguments, same panics, same answers — wrapped in a `Result` whose
+//! error is [`CscError::DeadlineExceeded`]. The contract is:
+//!
+//! * **Admission**: an already-expired [`Deadline`] is refused before any
+//!   work happens.
+//! * **Cooperative checkpoints**: long operations derive an
+//!   [`OpBudget`](csc_graph::OpBudget) from the deadline and consume it at
+//!   the label-intersection granularity (see
+//!   [`LabelStore::dist_count_budgeted`]). A sweep's overshoot past its
+//!   deadline is bounded by one intersection — microseconds.
+//! * **No observable effect on abort**: queries are read-only, so an
+//!   aborted sweep simply returns the error; the index, its workspaces,
+//!   and any snapshot stay fully reusable.
+//!
+//! Parallel snapshot sweeps derive one budget *per rayon worker* from the
+//! shared deadline (`OpBudget` is `Cell`-based and deliberately not
+//! `Sync`), so every worker observes the same cut-off instant without
+//! cross-core contention on the countdown.
+//!
+//! The deadline-bounded **write** paths live next to their unbounded
+//! twins: [`CscIndex::apply_batch_deadline`] (admission + a checkpoint
+//! after the read-only planning pass),
+//! [`MaintenanceEngine::apply_batch_deadline`](crate::MaintenanceEngine::apply_batch_deadline)
+//! and [`MaintenanceEngine::step_deadline`](crate::MaintenanceEngine::step_deadline)
+//! (admission-only: a WAL-logged window must run to completion), and
+//! [`ConcurrentIndex`](crate::ConcurrentIndex) facade variants.
+
+use crate::analytics::{girth_fold, rank_by_cycle_count, VertexCycles};
+use crate::error::CscError;
+use crate::guard::Deadline;
+use crate::index::CscIndex;
+use crate::snapshot::SnapshotIndex;
+use csc_graph::bipartite::{in_vertex, out_vertex};
+use csc_graph::{OpBudget, VertexId};
+use csc_labeling::{CycleCount, LabelStore};
+use rayon::prelude::*;
+
+fn to_cycles(dc: csc_labeling::DistCount) -> CycleCount {
+    debug_assert_eq!(dc.dist % 2, 1, "V_out ~> V_in distances are odd");
+    CycleCount::new(dc.dist.div_ceil(2), dc.count)
+}
+
+impl CscIndex {
+    /// [`query`](Self::query) under a wall-clock deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a vertex of the indexed graph, like
+    /// [`query`](Self::query).
+    pub fn query_deadline(
+        &self,
+        v: VertexId,
+        deadline: Deadline,
+    ) -> Result<Option<CycleCount>, CscError> {
+        deadline.admit()?;
+        self.query_budgeted(v, &deadline.budget())
+    }
+
+    fn query_budgeted(
+        &self,
+        v: VertexId,
+        budget: &OpBudget,
+    ) -> Result<Option<CycleCount>, CscError> {
+        assert!(
+            v.index() < self.original_vertex_count(),
+            "query vertex {v} out of range ({} vertices)",
+            self.original_vertex_count()
+        );
+        let dc = self
+            .labels
+            .dist_count_budgeted(out_vertex(v), in_vertex(v), budget)?;
+        Ok(dc.map(to_cycles))
+    }
+
+    /// Every vertex's `SCCnt` under one shared deadline, in id order.
+    fn sweep_deadline(&self, deadline: Deadline) -> Result<Vec<Option<CycleCount>>, CscError> {
+        deadline.admit()?;
+        let budget = deadline.budget();
+        (0..self.original_vertex_count() as u32)
+            .map(|v| self.query_budgeted(VertexId(v), &budget))
+            .collect()
+    }
+
+    /// [`girth`](Self::girth) under a wall-clock deadline: the `O(n)`
+    /// sweep aborts at the first label intersection past the cut-off.
+    pub fn girth_deadline(&self, deadline: Deadline) -> Result<Option<(u32, usize)>, CscError> {
+        Ok(girth_fold(self.sweep_deadline(deadline)?.into_iter()))
+    }
+
+    /// [`top_k_by_cycle_count`](Self::top_k_by_cycle_count) under a
+    /// wall-clock deadline.
+    pub fn top_k_by_cycle_count_deadline(
+        &self,
+        k: usize,
+        max_length: u32,
+        deadline: Deadline,
+    ) -> Result<Vec<VertexCycles>, CscError> {
+        Ok(rank_by_cycle_count(
+            self.sweep_deadline(deadline)?.into_iter(),
+            k,
+            max_length,
+        ))
+    }
+}
+
+impl SnapshotIndex {
+    /// [`query`](Self::query) under a wall-clock deadline. Out-of-range
+    /// vertices still answer `Ok(None)` (stale-but-safe), never panic.
+    pub fn query_deadline(
+        &self,
+        v: VertexId,
+        deadline: Deadline,
+    ) -> Result<Option<CycleCount>, CscError> {
+        deadline.admit()?;
+        self.query_budgeted(v, &deadline.budget())
+    }
+
+    fn query_budgeted(
+        &self,
+        v: VertexId,
+        budget: &OpBudget,
+    ) -> Result<Option<CycleCount>, CscError> {
+        if v.index() >= self.original_vertex_count() {
+            return Ok(None);
+        }
+        let dc = self
+            .labels()
+            .dist_count_budgeted(out_vertex(v), in_vertex(v), budget)?;
+        Ok(dc.map(to_cycles))
+    }
+
+    /// [`query_batch`](Self::query_batch) under a wall-clock deadline,
+    /// evaluated in parallel with one budget per rayon worker.
+    pub fn query_batch_deadline(
+        &self,
+        vertices: &[VertexId],
+        deadline: Deadline,
+    ) -> Result<Vec<Option<CycleCount>>, CscError> {
+        deadline.admit()?;
+        vertices
+            .par_iter()
+            .map_init(
+                || deadline.budget(),
+                |budget, &v| self.query_budgeted(v, budget),
+            )
+            .collect()
+    }
+
+    /// [`query_all`](Self::query_all) under a wall-clock deadline,
+    /// evaluated in parallel with one budget per rayon worker.
+    pub fn query_all_deadline(
+        &self,
+        deadline: Deadline,
+    ) -> Result<Vec<Option<CycleCount>>, CscError> {
+        deadline.admit()?;
+        (0..self.original_vertex_count() as u32)
+            .into_par_iter()
+            .map_init(
+                || deadline.budget(),
+                |budget, v| self.query_budgeted(VertexId(v), budget),
+            )
+            .collect()
+    }
+
+    /// [`girth`](Self::girth) under a wall-clock deadline.
+    pub fn girth_deadline(&self, deadline: Deadline) -> Result<Option<(u32, usize)>, CscError> {
+        Ok(girth_fold(self.query_all_deadline(deadline)?.into_iter()))
+    }
+
+    /// [`top_k_by_cycle_count`](Self::top_k_by_cycle_count) under a
+    /// wall-clock deadline.
+    pub fn top_k_by_cycle_count_deadline(
+        &self,
+        k: usize,
+        max_length: u32,
+        deadline: Deadline,
+    ) -> Result<Vec<VertexCycles>, CscError> {
+        Ok(rank_by_cycle_count(
+            self.query_all_deadline(deadline)?.into_iter(),
+            k,
+            max_length,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::GraphUpdate;
+    use crate::config::CscConfig;
+    use csc_graph::generators::gnm;
+    use std::time::Duration;
+
+    fn expired() -> Deadline {
+        Deadline::at(std::time::Instant::now() - Duration::from_millis(1))
+    }
+
+    fn roomy() -> Deadline {
+        Deadline::within(Duration::from_secs(3600))
+    }
+
+    #[test]
+    fn deadline_queries_match_unbounded_and_expire() {
+        let g = gnm(40, 140, 5);
+        let idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let snap = idx.freeze();
+        for v in g.vertices() {
+            assert_eq!(idx.query_deadline(v, roomy()).unwrap(), idx.query(v));
+            assert_eq!(idx.query_deadline(v, Deadline::NONE).unwrap(), idx.query(v));
+            assert_eq!(snap.query_deadline(v, roomy()).unwrap(), snap.query(v));
+        }
+        assert_eq!(
+            idx.query_deadline(VertexId(0), expired()),
+            Err(CscError::DeadlineExceeded)
+        );
+        // An aborted query has no observable effect: the same index
+        // answers the retry exactly.
+        assert_eq!(
+            idx.query_deadline(VertexId(0), roomy()).unwrap(),
+            idx.query(VertexId(0))
+        );
+    }
+
+    #[test]
+    fn deadline_sweeps_match_unbounded_and_expire() {
+        let g = gnm(50, 190, 6);
+        let idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let snap = idx.freeze();
+        assert_eq!(idx.girth_deadline(roomy()).unwrap(), idx.girth());
+        assert_eq!(snap.girth_deadline(roomy()).unwrap(), snap.girth());
+        assert_eq!(
+            idx.top_k_by_cycle_count_deadline(7, u32::MAX, roomy())
+                .unwrap(),
+            idx.top_k_by_cycle_count(7, u32::MAX)
+        );
+        assert_eq!(
+            snap.top_k_by_cycle_count_deadline(7, 5, roomy()).unwrap(),
+            snap.top_k_by_cycle_count(7, 5)
+        );
+        assert_eq!(snap.query_all_deadline(roomy()).unwrap(), snap.query_all());
+        let some: Vec<VertexId> = g.vertices().step_by(3).collect();
+        assert_eq!(
+            snap.query_batch_deadline(&some, roomy()).unwrap(),
+            snap.query_batch(&some)
+        );
+
+        assert_eq!(
+            idx.girth_deadline(expired()),
+            Err(CscError::DeadlineExceeded)
+        );
+        assert_eq!(
+            snap.query_all_deadline(expired()),
+            Err(CscError::DeadlineExceeded)
+        );
+        assert_eq!(
+            snap.top_k_by_cycle_count_deadline(3, 4, expired()),
+            Err(CscError::DeadlineExceeded)
+        );
+    }
+
+    #[test]
+    fn snapshot_deadline_query_is_stale_safe_out_of_range() {
+        let g = gnm(10, 30, 1);
+        let idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let snap = idx.freeze();
+        assert_eq!(snap.query_deadline(VertexId(99), roomy()).unwrap(), None);
+    }
+
+    #[test]
+    fn aborted_batch_has_no_observable_effect() {
+        let g = gnm(20, 55, 7);
+        let mut idx = CscIndex::build(&g, CscConfig::default()).unwrap();
+        let before = idx.to_bytes().unwrap();
+        let updates = [
+            GraphUpdate::AddVertex,
+            GraphUpdate::InsertEdge(VertexId(0), VertexId(20)),
+        ];
+        assert_eq!(
+            idx.apply_batch_deadline(&updates, expired()),
+            Err(CscError::DeadlineExceeded)
+        );
+        assert_eq!(
+            idx.to_bytes().unwrap(),
+            before,
+            "refused batch left no trace"
+        );
+        // The identical retry under a live deadline applies normally and
+        // matches the unbounded path on a pristine clone.
+        let mut twin = CscIndex::from_bytes(&before).unwrap();
+        let r1 = idx.apply_batch_deadline(&updates, roomy()).unwrap();
+        let r2 = twin.apply_batch(&updates).unwrap();
+        assert_eq!(r1.edges_inserted, r2.edges_inserted);
+        assert_eq!(idx.to_bytes().unwrap(), twin.to_bytes().unwrap());
+    }
+
+    #[test]
+    fn engine_batch_deadline_is_admission_only() {
+        use crate::maintain::MaintenanceEngine;
+        let g = gnm(16, 40, 2);
+        let mut engine = MaintenanceEngine::new(CscIndex::build(&g, CscConfig::default()).unwrap());
+        let updates = [GraphUpdate::AddVertex];
+        assert_eq!(
+            engine.apply_batch_deadline(&updates, expired()),
+            Err(CscError::DeadlineExceeded)
+        );
+        assert_eq!(
+            engine.index().original_vertex_count(),
+            16,
+            "refused before logging or applying"
+        );
+        let report = engine.apply_batch_deadline(&updates, roomy()).unwrap();
+        assert_eq!(report.vertices_added, 1);
+        assert_eq!(engine.index().original_vertex_count(), 17);
+    }
+}

@@ -37,6 +37,47 @@ pub enum CscError {
     /// A degenerate configuration rejected by
     /// [`CscConfig::validate`](crate::CscConfig::validate).
     Config(String),
+    /// A deadline-bounded operation hit its wall-clock budget at a
+    /// cooperative cancellation checkpoint and was aborted. The aborted
+    /// operation had **no observable effect**: queries leave their
+    /// workspaces reusable, writes abort only before their commit point
+    /// (see `docs/ARCHITECTURE.md`, "resource guards & overload").
+    DeadlineExceeded,
+    /// A write was refused by the backpressure policy
+    /// ([`OverloadPolicy::Reject`](crate::OverloadPolicy::Reject)): the
+    /// pending-write queue is at its high watermark. Transient — retry
+    /// after the maintenance plane drains the queue.
+    Overloaded {
+        /// Updates sitting in the pending-write queue at rejection time.
+        queued: usize,
+        /// The configured high watermark that was hit.
+        limit: usize,
+    },
+    /// The engine is in the `Saturated` state: the tracked label +
+    /// workspace footprint exceeds
+    /// [`CscConfig::memory_budget`](crate::CscConfig::memory_budget) even
+    /// after forced compaction. Writes are refused (readers are
+    /// unaffected) until the footprint drops or the budget is raised.
+    Saturated {
+        /// Tracked bytes at refusal time.
+        bytes: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// An I/O operation on the durability plane (WAL append/fsync,
+    /// checkpoint write/rename/dir-sync) failed and exhausted its
+    /// retries. Carries the [`std::io::ErrorKind`] so callers can
+    /// distinguish persistent exhaustion (`ENOSPC`) from transient
+    /// failures.
+    Io {
+        /// The instrumented operation that failed (`"wal.append"`,
+        /// `"checkpoint.dirsync"`, ...).
+        op: String,
+        /// The kind of the underlying [`std::io::Error`].
+        kind: std::io::ErrorKind,
+        /// The underlying error's message.
+        detail: String,
+    },
 }
 
 impl CscError {
@@ -52,6 +93,35 @@ impl CscError {
     pub fn poisoned(detail: impl Into<String>) -> Self {
         CscError::Poisoned {
             detail: detail.into(),
+        }
+    }
+
+    /// Wraps an [`std::io::Error`] from the named durability operation.
+    pub fn io(op: impl Into<String>, e: &std::io::Error) -> Self {
+        CscError::Io {
+            op: op.into(),
+            kind: e.kind(),
+            detail: e.to_string(),
+        }
+    }
+
+    /// `true` for errors worth a bounded retry: transient I/O failures.
+    /// Corruption, config, and graph errors are deterministic and retries
+    /// would only repeat them; `ENOSPC`-style exhaustion is persistent
+    /// until an operator intervenes.
+    pub fn is_transient_io(&self) -> bool {
+        use std::io::ErrorKind as K;
+        match self {
+            CscError::Io { kind, .. } => !matches!(
+                kind,
+                K::StorageFull
+                    | K::QuotaExceeded
+                    | K::ReadOnlyFilesystem
+                    | K::PermissionDenied
+                    | K::Unsupported
+                    | K::NotFound
+            ),
+            _ => false,
         }
     }
 }
@@ -70,7 +140,31 @@ impl fmt::Display for CscError {
             }
             CscError::Serial(msg) => write!(f, "serialization error: {msg}"),
             CscError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            CscError::DeadlineExceeded => {
+                write!(
+                    f,
+                    "deadline exceeded; the operation was aborted with no effect"
+                )
+            }
+            CscError::Overloaded { queued, limit } => write!(
+                f,
+                "write rejected: {queued} updates pending (high watermark {limit}); retry later"
+            ),
+            CscError::Saturated { bytes, budget } => write!(
+                f,
+                "index saturated: {bytes} bytes tracked against a {budget}-byte memory budget; \
+                 writes refused until the footprint drops"
+            ),
+            CscError::Io { op, kind, detail } => {
+                write!(f, "i/o error during {op} ({kind:?}): {detail}")
+            }
         }
+    }
+}
+
+impl From<csc_graph::BudgetExceeded> for CscError {
+    fn from(_: csc_graph::BudgetExceeded) -> Self {
+        CscError::DeadlineExceeded
     }
 }
 

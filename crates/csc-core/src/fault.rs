@@ -23,6 +23,19 @@
 use std::collections::HashMap;
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
+/// An armed I/O-error injection on one named point.
+struct IoFault {
+    /// Hits to let pass before the first injected failure (0 = fail the
+    /// next hit).
+    countdown: u64,
+    /// How many consecutive hits fail once the countdown elapses. A
+    /// count larger than the site's retry budget simulates a persistent
+    /// failure; a smaller one, a transient blip the retries absorb.
+    failures: u64,
+    /// The [`std::io::ErrorKind`] of every injected error.
+    kind: std::io::ErrorKind,
+}
+
 struct Registry {
     /// Total faultpoint hits since the last [`reset`].
     total: u64,
@@ -35,6 +48,15 @@ struct Registry {
     /// Hits per point since the last [`reset`] (for tests that want to
     /// target one phase).
     seen: HashMap<String, u64>,
+    /// Total I/O-site hits since the last [`reset`] — a separate sample
+    /// space from `total`, because I/O sites *return* errors instead of
+    /// panicking.
+    io_total: u64,
+    /// Inject at the I/O-site hit with this 1-based index, whichever
+    /// site it lands on (the sweep tests' scheme), with this kind.
+    io_global: Option<(u64, std::io::ErrorKind)>,
+    /// Per-point I/O injections.
+    per_point_io: HashMap<String, IoFault>,
 }
 
 fn registry() -> MutexGuard<'static, Registry> {
@@ -46,6 +68,9 @@ fn registry() -> MutexGuard<'static, Registry> {
                 global_trigger: None,
                 per_point: HashMap::new(),
                 seen: HashMap::new(),
+                io_total: 0,
+                io_global: None,
+                per_point_io: HashMap::new(),
             })
         })
         .lock()
@@ -100,6 +125,68 @@ pub fn arm_global(nth: u64) {
     reg.global_trigger = Some(base + nth);
 }
 
+/// Reports a hit of the named *I/O* faultpoint, returning the
+/// [`std::io::Error`] to inject — the instrumented site returns it as if
+/// the real operation had failed — or `None` to proceed normally.
+/// Called by the `faultpoint_io!` macro — not directly.
+pub fn take_io(name: &str) -> Option<std::io::Error> {
+    let mut reg = registry();
+    reg.io_total += 1;
+    *reg.seen.entry(name.to_string()).or_insert(0) += 1;
+    if let Some((at, kind)) = reg.io_global {
+        if reg.io_total == at {
+            reg.io_global = None;
+            return Some(std::io::Error::new(kind, format!("injected at '{name}'")));
+        }
+    }
+    if let Some(fault) = reg.per_point_io.get_mut(name) {
+        if fault.countdown > 0 {
+            fault.countdown -= 1;
+        } else if fault.failures > 0 {
+            fault.failures -= 1;
+            let kind = fault.kind;
+            if fault.failures == 0 {
+                reg.per_point_io.remove(name);
+            }
+            return Some(std::io::Error::new(kind, format!("injected at '{name}'")));
+        }
+    }
+    None
+}
+
+/// Arms the named I/O point to fail its `nth` hit from now (1-based)
+/// and the `count - 1` hits after it, each with an error of `kind`.
+/// `count` larger than the site's retry budget simulates a persistent
+/// failure; smaller, a transient blip the retries absorb.
+pub fn arm_io(name: &str, nth: u64, kind: std::io::ErrorKind, count: u64) {
+    assert!(nth >= 1, "nth is 1-based");
+    assert!(count >= 1, "count must inject at least one failure");
+    registry().per_point_io.insert(
+        name.to_string(),
+        IoFault {
+            countdown: nth - 1,
+            failures: count,
+            kind,
+        },
+    );
+}
+
+/// Arms a global I/O trigger: inject one error of `kind` at the `nth`
+/// I/O-site hit from now (1-based), whichever site it lands on. This is
+/// what the every-instrumented-site sweep tests use.
+pub fn arm_io_global(nth: u64, kind: std::io::ErrorKind) {
+    assert!(nth >= 1, "nth is 1-based");
+    let mut reg = registry();
+    let base = reg.io_total;
+    reg.io_global = Some((base + nth, kind));
+}
+
+/// Total I/O-site hits since the last [`reset`] — the sample space for
+/// [`arm_io_global`].
+pub fn io_total_hits() -> u64 {
+    registry().io_total
+}
+
 /// Disarms everything and zeroes the counters.
 pub fn reset() {
     let mut reg = registry();
@@ -107,6 +194,9 @@ pub fn reset() {
     reg.global_trigger = None;
     reg.per_point.clear();
     reg.seen.clear();
+    reg.io_total = 0;
+    reg.io_global = None;
+    reg.per_point_io.clear();
 }
 
 /// Total hits since the last [`reset`] — the sample space for
@@ -157,6 +247,35 @@ mod tests {
         assert!(err.contains("'z'"), "{err}");
         // The trigger is one-shot.
         hit("z");
+        reset();
+    }
+
+    #[test]
+    fn io_injection_counts_down_and_exhausts() {
+        let _guard = test_lock();
+        reset();
+        assert!(take_io("io.a").is_none(), "unarmed sites pass through");
+        assert_eq!(io_total_hits(), 1);
+        assert_eq!(hits("io.a"), 1);
+
+        // Fail the 2nd and 3rd hits from now, then recover.
+        arm_io("io.a", 2, std::io::ErrorKind::Interrupted, 2);
+        assert!(take_io("io.a").is_none());
+        let e = take_io("io.a").unwrap();
+        assert_eq!(e.kind(), std::io::ErrorKind::Interrupted);
+        assert!(e.to_string().contains("io.a"), "{e}");
+        assert!(take_io("io.a").is_some());
+        assert!(take_io("io.a").is_none(), "injection budget exhausted");
+
+        // The global trigger fires once, at whichever site is nth.
+        reset();
+        arm_io_global(2, std::io::ErrorKind::StorageFull);
+        assert!(take_io("io.x").is_none());
+        assert_eq!(
+            take_io("io.y").unwrap().kind(),
+            std::io::ErrorKind::StorageFull
+        );
+        assert!(take_io("io.y").is_none(), "one-shot");
         reset();
     }
 }

@@ -29,6 +29,11 @@ pub enum RebuildReason {
     Churn,
     /// An explicit caller request.
     Manual,
+    /// The tracked heap footprint breached
+    /// [`CscConfig::memory_budget`](crate::CscConfig::memory_budget): the
+    /// engine forces a compacting rebuild before entering the
+    /// `Saturated` state.
+    Memory,
 }
 
 impl fmt::Display for RebuildReason {
@@ -38,6 +43,7 @@ impl fmt::Display for RebuildReason {
             RebuildReason::DeadSpace => "arena dead space",
             RebuildReason::Churn => "bottom-ranked churn vertices",
             RebuildReason::Manual => "manual trigger",
+            RebuildReason::Memory => "memory budget breach",
         })
     }
 }
@@ -185,6 +191,30 @@ pub struct IndexHealth {
     pub replay_queued: usize,
     /// `true` while a rejuvenation rebuild/replay is in flight.
     pub rebuilding: bool,
+    /// Writes refused by [`OverloadPolicy::Reject`](crate::OverloadPolicy)
+    /// at the high watermark, over the engine's lifetime.
+    pub writes_rejected: u64,
+    /// Queued updates dropped by
+    /// [`OverloadPolicy::ShedOldest`](crate::OverloadPolicy) — the loud
+    /// record of lossy admission.
+    pub writes_shed: u64,
+    /// Tracked heap footprint in bytes (label lists + traversal
+    /// workspaces + replay queue) as of the last enforcement pass; `0`
+    /// until a memory budget is configured.
+    pub memory_bytes: usize,
+    /// `true` while the engine refuses writes because the footprint
+    /// exceeds [`CscConfig::memory_budget`](crate::CscConfig::memory_budget)
+    /// even after forced compaction. Readers are unaffected.
+    pub saturated: bool,
+    /// `true` after persistent I/O failure forced the durability plane
+    /// into in-memory-only mode: the engine keeps serving and accepting
+    /// writes, but nothing is logged or checkpointed until an operator
+    /// re-attaches durability.
+    pub durability_degraded: bool,
+    /// Torn-tail bytes dropped from the WAL by recoveries over this
+    /// engine's lifetime (each drop was an unacknowledged-or-unsynced
+    /// suffix; surfacing the count keeps the loss visible).
+    pub wal_truncated_bytes: u64,
 }
 
 impl IndexHealth {
@@ -238,7 +268,24 @@ impl fmt::Display for IndexHealth {
             self.rejuvenations,
             self.replay_queued,
             if self.rebuilding { " [rebuilding]" } else { "" },
-        )
+        )?;
+        if self.writes_rejected > 0 || self.writes_shed > 0 {
+            write!(
+                f,
+                ", rejected {}, shed {}",
+                self.writes_rejected, self.writes_shed
+            )?;
+        }
+        if self.saturated {
+            write!(f, " [saturated at {} bytes]", self.memory_bytes)?;
+        }
+        if self.durability_degraded {
+            f.write_str(" [durability degraded: in-memory only]")?;
+        }
+        if self.wal_truncated_bytes > 0 {
+            write!(f, " [wal dropped {} torn bytes]", self.wal_truncated_bytes)?;
+        }
+        Ok(())
     }
 }
 
@@ -260,6 +307,12 @@ mod tests {
             rejuvenations: 0,
             replay_queued: 0,
             rebuilding: false,
+            writes_rejected: 0,
+            writes_shed: 0,
+            memory_bytes: 0,
+            saturated: false,
+            durability_degraded: false,
+            wal_truncated_bytes: 0,
         }
     }
 

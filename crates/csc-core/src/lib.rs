@@ -51,6 +51,23 @@ macro_rules! faultpoint {
     };
 }
 
+/// Fires a named *I/O-error* fault-injection point: with the
+/// `fault-injection` feature on and the point armed (see
+/// [`fault::arm_io`] / [`fault::arm_io_global`]), the enclosing function
+/// returns `Err(CscError::Io { .. })` exactly as if the real I/O
+/// operation at this site had failed with the armed
+/// [`std::io::ErrorKind`]. Compiles to nothing otherwise.
+macro_rules! faultpoint_io {
+    ($name:expr) => {
+        #[cfg(feature = "fault-injection")]
+        {
+            if let Some(e) = $crate::fault::take_io($name) {
+                return Err($crate::error::CscError::io($name, &e));
+            }
+        }
+    };
+}
+
 pub mod analytics;
 pub mod batch;
 mod build;
@@ -58,11 +75,13 @@ mod clean;
 pub mod concurrent;
 pub mod config;
 mod crc;
+mod deadline;
 mod delete;
 pub mod error;
 /// Deterministic fault injection (empty without the `fault-injection`
 /// feature — see the module docs when it is enabled).
 pub mod fault;
+pub mod guard;
 pub mod health;
 mod index;
 mod insert;
@@ -79,8 +98,12 @@ pub mod wal;
 
 pub use batch::{BatchReport, GraphUpdate};
 pub use concurrent::ConcurrentIndex;
-pub use config::{CscConfig, DurabilityConfig, FsyncPolicy, ParallelismConfig, UpdateStrategy};
+pub use config::{
+    CscConfig, DurabilityConfig, FsyncPolicy, OverloadConfig, OverloadPolicy, ParallelismConfig,
+    UpdateStrategy,
+};
 pub use error::CscError;
+pub use guard::{Deadline, RetryPolicy};
 pub use health::{HealthBaseline, IndexHealth, RebuildPolicy, RebuildReason};
 pub use index::CscIndex;
 pub use maintain::{

@@ -52,7 +52,9 @@
 
 use crate::batch::{BatchReport, GraphUpdate};
 use crate::build::{CoupleBfs, LabelBuildTask};
+use crate::config::OverloadPolicy;
 use crate::error::CscError;
+use crate::guard::{Deadline, RetryPolicy};
 use crate::health::{HealthBaseline, IndexHealth, RebuildPolicy, RebuildReason};
 use crate::index::CscIndex;
 use crate::invert::InvertedIndex;
@@ -90,6 +92,17 @@ pub const REPLAY_CHUNK: usize = 256;
 /// while a rebuild is in flight).
 pub const DEFAULT_STEP_RANKS: usize = 64;
 
+/// Backoff schedule for re-attempting a rejuvenation after one was
+/// abandoned (deadline-aborted or failed): attempts are unbounded — the
+/// drift that tripped the policy does not go away — but each retry waits
+/// `50ms * 2^k`, capped at 5s, so a persistently stuck rebuild cannot
+/// busy-loop the engine.
+const REBUILD_RETRY: RetryPolicy = RetryPolicy {
+    max_attempts: u32::MAX,
+    base: std::time::Duration::from_millis(50),
+    cap: std::time::Duration::from_secs(5),
+};
+
 /// Where the engine's state machine currently is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MaintenanceStatus {
@@ -115,6 +128,14 @@ pub enum MaintenanceStatus {
     /// [`recover_in_place`](MaintenanceEngine::recover_in_place) (or
     /// [`ConcurrentIndex::recover`](crate::ConcurrentIndex::recover)).
     Degraded,
+    /// The tracked heap footprint exceeds
+    /// [`CscConfig::memory_budget`](crate::CscConfig::memory_budget) even
+    /// after a forced compacting rebuild. Writes are refused with
+    /// [`CscError::Saturated`]; readers are unaffected (same contract as
+    /// `Degraded`). Leave by raising the budget
+    /// ([`set_memory_budget`](MaintenanceEngine::set_memory_budget)) or
+    /// by a manual rejuvenation that shrinks the footprint.
+    Saturated,
     /// A recovery is rebuilding the index from checkpoint + WAL (or from
     /// the live graph) before atomically swapping it back in. Reported
     /// by the concurrent facade while
@@ -246,6 +267,30 @@ pub struct MaintenanceEngine {
     /// WAL + checkpoint attachment; `None` runs the engine exactly as
     /// before the durability plane existed.
     durability: Option<Durability>,
+    /// `Some(detail)` after persistent I/O failure forced the durability
+    /// plane into in-memory-only mode (the attachment was dropped but
+    /// the engine keeps serving and accepting writes). Cleared by a
+    /// successful [`attach_durability`](Self::attach_durability).
+    durability_degraded: Option<String>,
+    /// Writes refused under [`OverloadPolicy::Reject`], lifetime.
+    writes_rejected: u64,
+    /// Queued updates dropped under [`OverloadPolicy::ShedOldest`],
+    /// lifetime.
+    writes_shed: u64,
+    /// Tracked heap footprint as of the last measurement (`0` until a
+    /// memory budget is configured).
+    memory_bytes: usize,
+    /// `true` while the footprint exceeds the budget even after forced
+    /// compaction; writes are refused with [`CscError::Saturated`].
+    saturated: bool,
+    /// Torn-tail WAL bytes dropped by recoveries, lifetime.
+    wal_truncated_total: u64,
+    /// Consecutive abandoned rejuvenations (resets when one completes);
+    /// drives the [`REBUILD_RETRY`] backoff exponent.
+    rebuild_failures: u32,
+    /// [`maybe_begin`](Self::maybe_begin) refuses to start an automatic
+    /// rejuvenation before this instant (backoff after an abandon).
+    rebuild_retry_at: Option<Instant>,
     stats: MaintenanceStats,
 }
 
@@ -261,6 +306,14 @@ impl MaintenanceEngine {
             full_freeze_pending: false,
             degraded: None,
             durability: None,
+            durability_degraded: None,
+            writes_rejected: 0,
+            writes_shed: 0,
+            memory_bytes: 0,
+            saturated: false,
+            wal_truncated_total: 0,
+            rebuild_failures: 0,
+            rebuild_retry_at: None,
             stats: MaintenanceStats::default(),
         }
     }
@@ -321,6 +374,9 @@ impl MaintenanceEngine {
         if self.degraded.is_some() {
             return MaintenanceStatus::Degraded;
         }
+        if self.saturated && !self.is_rebuilding() {
+            return MaintenanceStatus::Saturated;
+        }
         match &self.rebuild {
             None => MaintenanceStatus::Serving,
             Some(task) if !task.labels_done => MaintenanceStatus::Rebuilding {
@@ -335,13 +391,40 @@ impl MaintenanceEngine {
     }
 
     /// The live drift report, with the maintenance-plane fields (replay
-    /// queue depth, rebuild flag) filled in.
+    /// queue depth, rebuild flag, overload counters, memory footprint,
+    /// durability degradation) filled in.
     pub fn health(&self) -> IndexHealth {
         IndexHealth {
             replay_queued: self.replay.len(),
             rebuilding: self.is_rebuilding(),
+            writes_rejected: self.writes_rejected,
+            writes_shed: self.writes_shed,
+            memory_bytes: self.memory_bytes,
+            saturated: self.saturated,
+            durability_degraded: self.durability_degraded.is_some(),
+            wal_truncated_bytes: self.wal_truncated_total,
             ..self.index.health()
         }
+    }
+
+    /// `true` while the engine refuses writes because the tracked
+    /// footprint exceeds the memory budget even after forced compaction.
+    pub fn is_saturated(&self) -> bool {
+        self.saturated
+    }
+
+    /// Why the durability plane was dropped into in-memory-only mode,
+    /// when it was (persistent I/O failure after exhausted retries).
+    pub fn durability_degraded_detail(&self) -> Option<&str> {
+        self.durability_degraded.as_deref()
+    }
+
+    /// Retunes the memory budget on a live engine (`0` disables) and
+    /// re-measures immediately — the operator's exit from the
+    /// `Saturated` state.
+    pub fn set_memory_budget(&mut self, bytes: usize) {
+        self.index.config.memory_budget = bytes;
+        self.measure_memory();
     }
 
     /// Inserts an edge. While serving it applies immediately and returns
@@ -354,7 +437,7 @@ impl MaintenanceEngine {
         a: VertexId,
         b: VertexId,
     ) -> Result<Option<UpdateReport>, CscError> {
-        self.check_writable()?;
+        self.admit_write()?;
         self.log_window(&[GraphUpdate::InsertEdge(a, b)])?;
         if self.is_rebuilding() {
             self.enqueue(GraphUpdate::InsertEdge(a, b));
@@ -362,6 +445,7 @@ impl MaintenanceEngine {
         }
         let report = self.protected("insert_edge", |idx| idx.insert_edge(a, b))?;
         self.maybe_checkpoint()?;
+        self.enforce_memory_budget()?;
         Ok(Some(report))
     }
 
@@ -372,7 +456,7 @@ impl MaintenanceEngine {
         a: VertexId,
         b: VertexId,
     ) -> Result<Option<UpdateReport>, CscError> {
-        self.check_writable()?;
+        self.admit_write()?;
         self.log_window(&[GraphUpdate::RemoveEdge(a, b)])?;
         if self.is_rebuilding() {
             self.enqueue(GraphUpdate::RemoveEdge(a, b));
@@ -380,6 +464,7 @@ impl MaintenanceEngine {
         }
         let report = self.protected("remove_edge", |idx| idx.remove_edge(a, b))?;
         self.maybe_checkpoint()?;
+        self.enforce_memory_budget()?;
         Ok(Some(report))
     }
 
@@ -390,11 +475,12 @@ impl MaintenanceEngine {
     ///
     /// # Errors
     ///
-    /// A degraded engine refuses the write; with durability attached a
-    /// failed WAL append does too (the op must be logged before it
-    /// exists).
+    /// A degraded engine refuses the write ([`CscError::Poisoned`]), a
+    /// saturated one too ([`CscError::Saturated`]), and the backpressure
+    /// policy may refuse it ([`CscError::Overloaded`]) while a rebuild's
+    /// replay queue sits at its high watermark.
     pub fn add_vertex(&mut self) -> Result<VertexId, CscError> {
-        self.check_writable()?;
+        self.admit_write()?;
         self.log_window(&[GraphUpdate::AddVertex])?;
         if self.is_rebuilding() {
             let v = VertexId((self.index.original_vertex_count() + self.queued_vertices) as u32);
@@ -403,6 +489,7 @@ impl MaintenanceEngine {
         }
         let v = self.protected("add_vertex", |idx| Ok(idx.add_vertex()))?;
         self.maybe_checkpoint()?;
+        self.enforce_memory_budget()?;
         Ok(v)
     }
 
@@ -412,7 +499,7 @@ impl MaintenanceEngine {
     /// [`updates_submitted`](BatchReport::updates_submitted) and
     /// [`queued`](BatchReport::queued).
     pub fn apply_batch(&mut self, updates: &[GraphUpdate]) -> Result<BatchReport, CscError> {
-        self.check_writable()?;
+        self.admit_write()?;
         if !updates.is_empty() {
             self.log_window(updates)?;
         }
@@ -428,7 +515,25 @@ impl MaintenanceEngine {
         }
         let report = self.protected("apply_batch", |idx| idx.apply_batch(updates))?;
         self.maybe_checkpoint()?;
+        self.enforce_memory_budget()?;
         Ok(report)
+    }
+
+    /// [`apply_batch`](Self::apply_batch) under a wall-clock deadline.
+    ///
+    /// At the engine level the deadline is an **admission** check only:
+    /// it is evaluated before the window is WAL-logged, so a refused
+    /// batch leaves no trace anywhere — retry it verbatim later. Once
+    /// admitted the batch runs to completion, because a window that has
+    /// reached the log must also reach the index (aborting between the
+    /// two would make recovery resurrect an op the caller saw fail).
+    pub fn apply_batch_deadline(
+        &mut self,
+        updates: &[GraphUpdate],
+        deadline: Deadline,
+    ) -> Result<BatchReport, CscError> {
+        deadline.admit()?;
+        self.apply_batch(updates)
     }
 
     fn enqueue(&mut self, update: GraphUpdate) {
@@ -444,6 +549,102 @@ impl MaintenanceEngine {
             Some(detail) => Err(CscError::poisoned(detail.clone())),
             None => Ok(()),
         }
+    }
+
+    /// Full write admission, run *before* the op is WAL-logged (a refused
+    /// op must not exist in the log): degraded → [`CscError::Poisoned`];
+    /// saturated → re-measure (a raised budget or compaction since the
+    /// last measurement exits the state), then [`CscError::Saturated`];
+    /// finally the backpressure policy over the replay queue.
+    fn admit_write(&mut self) -> Result<(), CscError> {
+        self.check_writable()?;
+        if self.saturated {
+            self.measure_memory();
+            if self.saturated {
+                return Err(CscError::Saturated {
+                    bytes: self.memory_bytes,
+                    budget: self.index.config().memory_budget,
+                });
+            }
+        }
+        self.apply_backpressure()
+    }
+
+    /// Applies the configured [`OverloadPolicy`] when the replay queue
+    /// sits at or above its high watermark (only possible while a
+    /// rebuild is in flight — a serving engine's queue is empty).
+    fn apply_backpressure(&mut self) -> Result<(), CscError> {
+        let cfg = self.index.config().overload;
+        if !self.is_rebuilding() || !cfg.over_high(self.replay.len()) {
+            return Ok(());
+        }
+        match cfg.policy {
+            OverloadPolicy::Block => {
+                // "Blocking" in a single-threaded engine means doing the
+                // maintenance work inline: drive the rebuild until the
+                // queue drains under the low watermark (or the
+                // rejuvenation finishes and the queue empties).
+                while self.is_rebuilding() && !cfg.under_low(self.replay.len()) {
+                    self.step(DEFAULT_STEP_RANKS)?;
+                }
+                Ok(())
+            }
+            OverloadPolicy::Reject => {
+                self.writes_rejected += 1;
+                Err(CscError::Overloaded {
+                    queued: self.replay.len(),
+                    limit: cfg.high_watermark as usize,
+                })
+            }
+            OverloadPolicy::ShedOldest => {
+                // Lossy: drop the oldest queued updates down to the low
+                // watermark. They were WAL-logged when accepted, so a
+                // recovery replays them anyway — the documented
+                // divergence of this mode (`docs/ARCHITECTURE.md`).
+                while !cfg.under_low(self.replay.len()) {
+                    let Some(u) = self.replay.pop_front() else {
+                        break;
+                    };
+                    if u == GraphUpdate::AddVertex {
+                        self.queued_vertices -= 1;
+                    }
+                    self.writes_shed += 1;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Re-measures the tracked footprint against the configured budget
+    /// (no-op beyond zeroing when the budget is disabled).
+    fn measure_memory(&mut self) {
+        if self.index.config().memory_budget == 0 {
+            self.memory_bytes = 0;
+            self.saturated = false;
+            return;
+        }
+        self.memory_bytes =
+            self.index.memory_bytes() + self.replay.len() * std::mem::size_of::<GraphUpdate>();
+        self.saturated = self.memory_bytes > self.index.config().memory_budget;
+    }
+
+    /// Budget enforcement, run once per directly-applied window (the
+    /// measurement is `O(n)` over the label store — too expensive per
+    /// op). A breach forces one compacting rejuvenation; if the
+    /// footprint still exceeds the budget the engine enters `Saturated`
+    /// and refuses subsequent writes (the breaching write itself has
+    /// already committed). Skipped mid-rebuild: the in-flight
+    /// rejuvenation is already the compaction.
+    fn enforce_memory_budget(&mut self) -> Result<(), CscError> {
+        if self.index.config().memory_budget == 0 {
+            return Ok(());
+        }
+        self.measure_memory();
+        if self.saturated && !self.is_rebuilding() {
+            self.rejuvenate(RebuildReason::Memory)?;
+            self.measure_memory();
+        }
+        Ok(())
     }
 
     /// Runs a write-path operation under `catch_unwind`. A panic
@@ -486,16 +687,38 @@ impl MaintenanceEngine {
     }
 
     /// Write-ahead: appends the window to the WAL (when attached)
-    /// *before* it is applied or queued. Failure refuses the write — an
-    /// op the log cannot reconstruct must not exist.
+    /// *before* it is applied or queued. Transient I/O failures are
+    /// retried under [`DurabilityConfig::io_retry`](crate::DurabilityConfig)
+    /// (each failed attempt's partial bytes rolled back — see
+    /// [`WriteAheadLog::append_retrying`]); a persistent failure (e.g.
+    /// `ENOSPC`) drops the durability plane into loud in-memory-only
+    /// mode — recorded in [`health`](Self::health) — and the write
+    /// proceeds unlogged rather than poisoning the engine.
     fn log_window(&mut self, window: &[GraphUpdate]) -> Result<(), CscError> {
+        let retry = self.index.config().durability.io_retry;
         let Some(d) = self.durability.as_mut() else {
             return Ok(());
         };
         let seq = d.wal.last_seq() + 1;
-        d.wal.append(seq, window)?;
-        d.windows_since_checkpoint += 1;
-        Ok(())
+        match d.wal.append_retrying(seq, window, &retry) {
+            Ok(()) => {
+                d.windows_since_checkpoint += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.degrade_durability(format!("wal append failed: {e}"));
+                Ok(())
+            }
+        }
+    }
+
+    /// Persistent I/O failure: drop the durability attachment and record
+    /// it. The engine keeps serving and accepting writes; nothing is
+    /// logged or checkpointed until an operator re-attaches durability
+    /// (after which a fresh checkpoint re-covers the full state).
+    fn degrade_durability(&mut self, detail: String) {
+        self.durability = None;
+        self.durability_degraded = Some(detail);
     }
 
     /// Checkpoints when the cadence says so. Deferred while a
@@ -521,19 +744,37 @@ impl MaintenanceEngine {
     /// skipped — no durability attached, or a rejuvenation in flight
     /// (deferred until the replay queue drains, so queued-but-unapplied
     /// writes always stay inside the WAL suffix a recovery would replay).
+    /// Transient I/O failures in the checkpoint write or the log
+    /// rotation are retried under
+    /// [`DurabilityConfig::io_retry`](crate::DurabilityConfig); a
+    /// persistent failure degrades durability to in-memory-only mode
+    /// (recorded in [`health`](Self::health)) and returns `Ok(None)` —
+    /// the previous checkpoint + WAL on disk stay valid.
     pub fn checkpoint(&mut self) -> Result<Option<u64>, CscError> {
         if self.durability.is_none() || self.is_rebuilding() {
             return Ok(None);
         }
         let bytes = self.index.to_bytes()?;
         let keep = self.index.config().durability.keep_checkpoints as usize;
+        let retry = self.index.config().durability.io_retry;
         let d = self.durability.as_mut().expect("checked above");
         let seq = d.wal.last_seq();
-        wal::write_checkpoint(&d.dir, seq, &bytes)?;
-        d.wal.rotate(seq)?;
-        d.windows_since_checkpoint = 0;
-        wal::prune_checkpoints(&d.dir, keep);
-        Ok(Some(seq))
+        let outcome = retry
+            .run(seq, |_| {
+                wal::write_checkpoint(&d.dir, seq, &bytes).map(|_| ())
+            })
+            .and_then(|()| retry.run(seq ^ 1, |_| d.wal.rotate(seq)));
+        match outcome {
+            Ok(()) => {
+                d.windows_since_checkpoint = 0;
+                wal::prune_checkpoints(&d.dir, keep);
+                Ok(Some(seq))
+            }
+            Err(e) => {
+                self.degrade_durability(format!("checkpoint at seq {seq} failed: {e}"));
+                Ok(None)
+            }
+        }
     }
 
     /// Attaches a durability directory: writes an initial checkpoint of
@@ -585,6 +826,9 @@ impl MaintenanceEngine {
             wal: log,
             windows_since_checkpoint: 0,
         });
+        // A fresh attachment re-covers the full state: any earlier
+        // in-memory-only degradation is over.
+        self.durability_degraded = None;
         Ok(seq)
     }
 
@@ -637,6 +881,15 @@ impl MaintenanceEngine {
         if self.is_rebuilding() {
             return Ok(None);
         }
+        // Backoff after an abandoned attempt: the drift is still there,
+        // but hammering a rebuild that keeps getting aborted (tight
+        // deadlines, capacity pressure) would starve the write plane.
+        // Manual `begin_rejuvenation` bypasses this gate.
+        if let Some(t) = self.rebuild_retry_at {
+            if Instant::now() < t {
+                return Ok(None);
+            }
+        }
         let health = IndexHealth {
             dead_fraction: arena_dead_fraction,
             ..self.health()
@@ -684,9 +937,7 @@ impl MaintenanceEngine {
                 Ok(Ok(false)) => {}
                 Ok(Err(e)) => {
                     // Abandon: the old index is untouched and fully valid.
-                    self.rebuild = None;
-                    self.stats.rejuvenations_failed += 1;
-                    self.drain_replay_onto_current()?;
+                    self.abandon_rebuild_with_backoff()?;
                     return Err(e.into());
                 }
                 Err(payload) => {
@@ -712,6 +963,42 @@ impl MaintenanceEngine {
             self.maybe_checkpoint()?;
         }
         Ok(self.status())
+    }
+
+    /// Deadline-aware [`step`](Self::step): the per-chunk deadline is
+    /// checked *before* any work, so a caller driving a rebuild under a
+    /// latency budget never starts a chunk it has no time for. An
+    /// exceeded deadline abandons the in-flight rejuvenation via the
+    /// existing abandon path — the old index keeps serving, the queue
+    /// replays onto it, no accepted write is lost — and delays the next
+    /// automatic attempt ([`maybe_begin`](Self::maybe_begin)) by bounded
+    /// exponential backoff, returning [`CscError::DeadlineExceeded`].
+    pub fn step_deadline(
+        &mut self,
+        rank_budget: usize,
+        deadline: Deadline,
+    ) -> Result<MaintenanceStatus, CscError> {
+        self.check_writable()?;
+        if self.rebuild.is_some() && deadline.is_past() {
+            self.abandon_rebuild_with_backoff()?;
+            return Err(CscError::DeadlineExceeded);
+        }
+        self.step(rank_budget)
+    }
+
+    /// The shared abandon path: drop the in-flight task, count the
+    /// failure, arm the [`REBUILD_RETRY`] backoff for the next automatic
+    /// attempt, and replay the queue onto the current (still fully
+    /// valid) index so no accepted write is lost.
+    fn abandon_rebuild_with_backoff(&mut self) -> Result<(), CscError> {
+        self.rebuild = None;
+        self.stats.rejuvenations_failed += 1;
+        let attempt = self.rebuild_failures.min(30);
+        self.rebuild_failures = self.rebuild_failures.saturating_add(1);
+        if let Some(backoff) = REBUILD_RETRY.backoff(attempt, 0x52454255) {
+            self.rebuild_retry_at = Some(Instant::now() + backoff);
+        }
+        self.drain_replay_onto_current()
     }
 
     /// Runs the config-gated structural sweep after a swap or recovery,
@@ -802,6 +1089,9 @@ impl MaintenanceEngine {
         self.index = fresh;
         self.full_freeze_pending = true;
         self.stats.rejuvenations_completed += 1;
+        // A completed rebuild resets the abandon-retry backoff.
+        self.rebuild_failures = 0;
+        self.rebuild_retry_at = None;
     }
 
     /// Drains up to [`REPLAY_CHUNK`] updates onto the (rejuvenated) index;
@@ -884,7 +1174,12 @@ impl MaintenanceEngine {
         let mut skipped = 0usize;
         let mut loaded: Option<(u64, CscIndex)> = None;
         for (seq, path) in &ckpts {
-            match wal::read_file(path).and_then(|b| CscIndex::from_bytes(&b)) {
+            // A transient read error must not burn a generation (the
+            // next-older checkpoint loses every WAL record in between);
+            // retry it before falling back. Persistent I/O errors and
+            // corruption fall back exactly as before.
+            let read = RetryPolicy::DEFAULT_IO.run(*seq, |_| wal::read_file(path));
+            match read.and_then(|b| CscIndex::from_bytes(&b)) {
                 Ok(idx) => {
                     loaded = Some((*seq, idx));
                     break;
@@ -908,7 +1203,8 @@ impl MaintenanceEngine {
         let mut records = Vec::new();
         let mut truncated = 0u64;
         if wal_path.exists() {
-            match WriteAheadLog::read_all(&wal_path) {
+            let retry = index.config().durability.io_retry;
+            match retry.run(ckpt_seq, |_| WriteAheadLog::read_all(&wal_path)) {
                 Ok((base, recs, rep)) => {
                     if base > ckpt_seq {
                         return Err(CscError::corrupt(
@@ -957,18 +1253,39 @@ impl MaintenanceEngine {
         // Re-anchor: fresh checkpoint of the recovered state, fresh log
         // behind it. (A crash anywhere in here leaves the previous
         // checkpoint + full WAL intact — recovery just runs again.)
+        // Transient I/O failures retry; a persistent one must not fail
+        // the whole recovery — the state is already reconstructed — so
+        // the engine comes back serving with durability degraded to
+        // in-memory-only mode instead.
         let bytes = index.to_bytes()?;
-        wal::write_checkpoint(dir, last_seq, &bytes)?;
         let fsync = index.config().durability.fsync;
-        let log = WriteAheadLog::create(&wal_path, last_seq, fsync)?;
-        wal::prune_checkpoints(dir, index.config().durability.keep_checkpoints as usize);
+        let retry = index.config().durability.io_retry;
+        let keep = index.config().durability.keep_checkpoints as usize;
+        let reanchored = retry
+            .run(last_seq, |_| {
+                wal::write_checkpoint(dir, last_seq, &bytes).map(|_| ())
+            })
+            .and_then(|()| {
+                retry.run(last_seq ^ 1, |_| {
+                    WriteAheadLog::create(&wal_path, last_seq, fsync)
+                })
+            });
 
         let mut engine = MaintenanceEngine::new(index);
-        engine.durability = Some(Durability {
-            dir: dir.to_path_buf(),
-            wal: log,
-            windows_since_checkpoint: 0,
-        });
+        engine.wal_truncated_total = truncated;
+        match reanchored {
+            Ok(log) => {
+                wal::prune_checkpoints(dir, keep);
+                engine.durability = Some(Durability {
+                    dir: dir.to_path_buf(),
+                    wal: log,
+                    windows_since_checkpoint: 0,
+                });
+            }
+            Err(e) => {
+                engine.durability_degraded = Some(format!("re-anchor after recovery failed: {e}"));
+            }
+        }
         engine.integrity_check_after("recovery")?;
         let integrity_checked = engine.index().config().durability.check_integrity;
         Ok((
@@ -1007,6 +1324,12 @@ impl MaintenanceEngine {
             fresh.stats = stats;
             fresh.stats.recoveries += 1;
             fresh.full_freeze_pending = true;
+            // Lifetime overload/durability counters survive the swap.
+            fresh.writes_rejected = self.writes_rejected;
+            fresh.writes_shed = self.writes_shed;
+            fresh.wal_truncated_total = fresh
+                .wal_truncated_total
+                .saturating_add(self.wal_truncated_total);
             *self = fresh;
             return Ok(report);
         }
@@ -1176,6 +1499,155 @@ mod tests {
         assert_eq!(engine.maintenance_stats().updates_replayed, 4);
         assert_eq!(engine.health().replay_queued, 0);
         assert_matches_fresh(&engine, "after replay");
+        verify_index(engine.index()).unwrap();
+    }
+
+    #[test]
+    fn reject_policy_refuses_at_the_high_watermark() {
+        let g = gnm(18, 48, 3);
+        let config = CscConfig::default().with_overload_policy(OverloadPolicy::Reject, 3, 1);
+        let mut engine = MaintenanceEngine::new(CscIndex::build(&g, config).unwrap());
+        engine.begin_rejuvenation(RebuildReason::Manual).unwrap();
+        engine.step(1).unwrap();
+        for k in 0..3u32 {
+            assert_eq!(
+                engine.insert_edge(VertexId(k), VertexId(k + 9)).unwrap(),
+                None,
+                "below the watermark: queued"
+            );
+        }
+        let err = engine.insert_edge(VertexId(3), VertexId(12)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CscError::Overloaded {
+                    queued: 3,
+                    limit: 3
+                }
+            ),
+            "{err}"
+        );
+        let h = engine.health();
+        assert_eq!((h.writes_rejected, h.replay_queued), (1, 3));
+
+        // The rejected op was never queued; draining re-admits writes.
+        while engine.step(usize::MAX).unwrap() != MaintenanceStatus::Serving {}
+        engine.add_vertex().unwrap();
+        assert_eq!(engine.health().writes_rejected, 1, "lifetime counter");
+        verify_index(engine.index()).unwrap();
+    }
+
+    #[test]
+    fn shed_oldest_drops_to_the_low_watermark_and_counts() {
+        let g = gnm(18, 48, 3);
+        let config = CscConfig::default().with_overload_policy(OverloadPolicy::ShedOldest, 4, 2);
+        let mut engine = MaintenanceEngine::new(CscIndex::build(&g, config).unwrap());
+        engine.begin_rejuvenation(RebuildReason::Manual).unwrap();
+        engine.step(1).unwrap();
+        for k in 0..4u32 {
+            engine.insert_edge(VertexId(k), VertexId(k + 9)).unwrap();
+        }
+        // Queue at the high watermark: the next admission sheds the
+        // oldest entries down to the low watermark, then accepts.
+        engine.insert_edge(VertexId(4), VertexId(13)).unwrap();
+        let h = engine.health();
+        assert_eq!(h.writes_shed, 2);
+        assert_eq!(h.replay_queued, 3, "2 low-watermark survivors + the new op");
+        while engine.step(usize::MAX).unwrap() != MaintenanceStatus::Serving {}
+        verify_index(engine.index()).unwrap();
+        assert_matches_fresh(&engine, "after shed-policy drain");
+    }
+
+    #[test]
+    fn block_policy_drives_the_rebuild_inline() {
+        let g = gnm(18, 48, 3);
+        let config = CscConfig::default().with_overload_policy(OverloadPolicy::Block, 3, 1);
+        let mut engine = MaintenanceEngine::new(CscIndex::build(&g, config).unwrap());
+        engine.begin_rejuvenation(RebuildReason::Manual).unwrap();
+        engine.step(1).unwrap();
+        for _ in 0..6 {
+            engine.add_vertex().unwrap();
+            assert!(
+                engine.health().replay_queued <= 3,
+                "blocking keeps the queue at the watermark"
+            );
+        }
+        let h = engine.health();
+        assert_eq!((h.writes_rejected, h.writes_shed), (0, 0), "lossless");
+        while engine.step(usize::MAX).unwrap() != MaintenanceStatus::Serving {}
+        assert_matches_fresh(&engine, "after block-policy drain");
+        verify_index(engine.index()).unwrap();
+    }
+
+    #[test]
+    fn memory_breach_forces_compaction_then_saturates() {
+        let g = gnm(18, 48, 3);
+        let config = CscConfig::default().with_memory_budget(1);
+        let mut engine = MaintenanceEngine::new(CscIndex::build(&g, config).unwrap());
+        // The first applied window measures, breaches the 1-byte budget,
+        // forces one compacting rejuvenation, and — still over — enters
+        // the Saturated state.
+        engine.add_vertex().unwrap();
+        assert_eq!(engine.status(), MaintenanceStatus::Saturated);
+        assert!(engine.is_saturated());
+        assert_eq!(
+            engine.maintenance_stats().last_reason,
+            Some(RebuildReason::Memory)
+        );
+        assert_eq!(engine.maintenance_stats().rejuvenations_completed, 1);
+        let h = engine.health();
+        assert!(h.saturated && h.memory_bytes > 1, "{h}");
+
+        let err = engine.add_vertex().unwrap_err();
+        assert!(matches!(err, CscError::Saturated { .. }), "{err}");
+        // Readers are unaffected — same contract as Degraded.
+        let _ = engine.index().query(VertexId(0));
+
+        // Raising the budget (0 disables) exits the state on the spot.
+        engine.set_memory_budget(0);
+        assert_eq!(engine.status(), MaintenanceStatus::Serving);
+        engine.add_vertex().unwrap();
+        verify_index(engine.index()).unwrap();
+    }
+
+    #[test]
+    fn deadline_aborted_step_abandons_replays_and_backs_off() {
+        let g = gnm(18, 48, 3);
+        let config = CscConfig::default().with_rebuild_policy(
+            RebuildPolicy::default()
+                .with_churned_vertices(1)
+                .with_auto(true),
+        );
+        let mut engine = MaintenanceEngine::new(CscIndex::build(&g, config).unwrap());
+        engine.begin_rejuvenation(RebuildReason::Manual).unwrap();
+        engine.step(1).unwrap();
+        engine.add_vertex().unwrap();
+        assert_eq!(engine.health().replay_queued, 1);
+
+        // A past deadline: the chunk never starts; the rebuild abandons
+        // safely and the queued write replays onto the old index.
+        let past = Deadline::at(Instant::now() - std::time::Duration::from_millis(1));
+        let err = engine.step_deadline(16, past).unwrap_err();
+        assert_eq!(err, CscError::DeadlineExceeded);
+        assert_eq!(engine.status(), MaintenanceStatus::Serving);
+        assert_eq!(
+            engine.index().original_vertex_count(),
+            19,
+            "queued write survived the abort"
+        );
+        assert_eq!(engine.maintenance_stats().rejuvenations_failed, 1);
+
+        // The churn policy trips (1 added vertex), but the automatic
+        // path waits out the abandon backoff...
+        assert_eq!(
+            engine.maybe_begin(0.0).unwrap(),
+            None,
+            "backoff gates the retry"
+        );
+        // ...while a manual rejuvenation bypasses the gate.
+        engine.rejuvenate(RebuildReason::Manual).unwrap();
+        assert_eq!(engine.maintenance_stats().rejuvenations_failed, 1);
+        assert_matches_fresh(&engine, "after deadline abort + manual retry");
         verify_index(engine.index()).unwrap();
     }
 

@@ -24,7 +24,7 @@
 //! | 1   | header   | n `u32`, m `u64` |
 //! | 2   | edges    | (`u32`, `u32`) × m |
 //! | 3   | ranks    | `vertex_at[rank]` `u32` × 2n |
-//! | 4   | config   | ordering, update strategy, inverted flag, snapshot interval, rebuild policy, durability knobs, parallelism knobs |
+//! | 4   | config   | ordering, update strategy, inverted flag, snapshot interval, rebuild policy, durability knobs, parallelism knobs, resource guards |
 //! | 5   | baseline | entries ×3 `u64`, vertices `u32`, rejuvenations `u32` |
 //! | 6   | labels   | per bipartite vertex and side: len `u32`, entries `u64` × len |
 //!
@@ -46,9 +46,13 @@
 //! rejected with a version message.)
 
 use crate::build::CoupleBfs;
-use crate::config::{CscConfig, DurabilityConfig, FsyncPolicy, ParallelismConfig, UpdateStrategy};
+use crate::config::{
+    CscConfig, DurabilityConfig, FsyncPolicy, OverloadConfig, OverloadPolicy, ParallelismConfig,
+    UpdateStrategy,
+};
 use crate::crc::crc32;
 use crate::error::CscError;
+use crate::guard::RetryPolicy;
 use crate::health::{HealthBaseline, RebuildPolicy};
 use crate::index::CscIndex;
 use crate::invert::InvertedIndex;
@@ -57,6 +61,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use csc_graph::bipartite::BipartiteGraph;
 use csc_graph::{DiGraph, OrderingStrategy, RankTable, VertexId};
 use csc_labeling::{LabelEntry, LabelSide, Labels};
+use std::time::Duration;
 
 const MAGIC: &[u8; 8] = b"CSCIDX\x04\n";
 
@@ -230,6 +235,26 @@ impl CscIndex {
         // appended after the parallelism knobs so both older payload
         // lengths (39 and 47 bytes) still load with defaults.
         config.put_u32_le(samples);
+        // Resource-guard knobs (memory budget, backpressure, I/O retry),
+        // appended as one 37-byte group after the ordering argument;
+        // payloads of 39/47/51 bytes predate them and load with defaults.
+        config.put_u64_le(self.config.memory_budget as u64);
+        config.put_u8(match self.config.overload.policy {
+            OverloadPolicy::Block => 0,
+            OverloadPolicy::Reject => 1,
+            OverloadPolicy::ShedOldest => 2,
+        });
+        config.put_u32_le(self.config.overload.high_watermark);
+        config.put_u32_le(self.config.overload.low_watermark);
+        config.put_u32_le(self.config.durability.io_retry.max_attempts);
+        config.put_u64_le(
+            u64::try_from(self.config.durability.io_retry.base.as_micros())
+                .map_err(|_| CscError::Serial("io_retry.base exceeds u64 microseconds".into()))?,
+        );
+        config.put_u64_le(
+            u64::try_from(self.config.durability.io_retry.cap.as_micros())
+                .map_err(|_| CscError::Serial("io_retry.cap exceeds u64 microseconds".into()))?,
+        );
 
         let mut baseline = BytesMut::with_capacity(32);
         baseline.put_u64_le(self.baseline.entries as u64);
@@ -384,11 +409,12 @@ impl CscIndex {
         };
         let ftag = p.get_u8();
         let farg = p.get_u32_le();
-        let durability = DurabilityConfig {
+        let mut durability = DurabilityConfig {
             fsync: fsync_from_tag(ftag, farg)?,
             checkpoint_every: p.get_u32_le(),
             keep_checkpoints: p.get_u32_le(),
             check_integrity: p.get_u8() != 0,
+            io_retry: RetryPolicy::DEFAULT_IO,
         };
         // The parallelism knobs were appended to the config payload after
         // its first release; a 39-byte payload predates them and means
@@ -409,6 +435,33 @@ impl CscIndex {
         } else {
             0
         };
+        // The resource-guard knobs (memory budget, backpressure, I/O
+        // retry) trail the ordering argument as one 37-byte group;
+        // shorter payloads predate them and mean "defaults".
+        let (memory_budget, overload, io_retry) = if p.remaining() >= 37 {
+            let memory_budget = usize::try_from(p.get_u64_le())
+                .map_err(|_| CscError::Serial("memory_budget exceeds usize".into()))?;
+            let policy = match p.get_u8() {
+                0 => OverloadPolicy::Block,
+                1 => OverloadPolicy::Reject,
+                2 => OverloadPolicy::ShedOldest,
+                other => return Err(CscError::Serial(format!("unknown overload policy {other}"))),
+            };
+            let overload = OverloadConfig {
+                policy,
+                high_watermark: p.get_u32_le(),
+                low_watermark: p.get_u32_le(),
+            };
+            let io_retry = RetryPolicy {
+                max_attempts: p.get_u32_le(),
+                base: Duration::from_micros(p.get_u64_le()),
+                cap: Duration::from_micros(p.get_u64_le()),
+            };
+            (memory_budget, overload, io_retry)
+        } else {
+            (0, OverloadConfig::default(), RetryPolicy::DEFAULT_IO)
+        };
+        durability.io_retry = io_retry;
         let config = CscConfig {
             order: order_from_tag(tag, seed, samples)?,
             update_strategy: strategy,
@@ -417,6 +470,8 @@ impl CscIndex {
             rebuild,
             durability,
             parallelism,
+            overload,
+            memory_budget,
         };
         config.validate()?;
 
@@ -618,7 +673,7 @@ mod tests {
         // loading one must succeed with default parallelism knobs rather
         // than erroring on the missing trailing bytes.
         let idx = CscIndex::build(&figure2(), CscConfig::default()).unwrap();
-        let mut bytes = idx.to_bytes().unwrap().to_vec();
+        let bytes = idx.to_bytes().unwrap().to_vec();
         let mut off = 16;
         for _ in 0..3 {
             let len = u64::from_le_bytes(bytes[off + 1..off + 9].try_into().unwrap());
@@ -627,19 +682,44 @@ mod tests {
         assert_eq!(bytes[off], TAG_CONFIG);
         let len = u64::from_le_bytes(bytes[off + 1..off + 9].try_into().unwrap()) as usize;
         assert_eq!(
-            len, 51,
-            "config payload = 42 legacy + 5 parallelism + 4 ordering-arg bytes"
+            len, 88,
+            "config payload = 42 legacy + 5 parallelism + 4 ordering-arg + 37 resource-guard bytes"
         );
-        // Shrink the section to its legacy length and re-frame.
-        let payload_at = off + 13;
-        bytes.drain(payload_at + 42..payload_at + len);
-        bytes[off + 1..off + 9].copy_from_slice(&42u64.to_le_bytes());
-        let crc = crc32(&bytes[payload_at..payload_at + 42]);
-        bytes[off + 9..off + 13].copy_from_slice(&crc.to_le_bytes());
-        let total = bytes.len() as u64;
-        bytes[8..16].copy_from_slice(&total.to_le_bytes());
-        let back = CscIndex::from_bytes(&bytes).unwrap();
-        assert_eq!(back.config().parallelism, ParallelismConfig::default());
+        // Shrink the section to each historical length and re-frame; every
+        // legacy prefix must load with defaults for the missing groups.
+        for keep in [42usize, 47, 51] {
+            let mut bytes = bytes.clone();
+            let payload_at = off + 13;
+            bytes.drain(payload_at + keep..payload_at + len);
+            bytes[off + 1..off + 9].copy_from_slice(&(keep as u64).to_le_bytes());
+            let crc = crc32(&bytes[payload_at..payload_at + keep]);
+            bytes[off + 9..off + 13].copy_from_slice(&crc.to_le_bytes());
+            let total = bytes.len() as u64;
+            bytes[8..16].copy_from_slice(&total.to_le_bytes());
+            let back = CscIndex::from_bytes(&bytes).unwrap();
+            assert_eq!(back.config().parallelism, ParallelismConfig::default());
+            assert_eq!(back.config().overload, OverloadConfig::default());
+            assert_eq!(back.config().memory_budget, 0);
+            assert_eq!(back.config().durability.io_retry, RetryPolicy::DEFAULT_IO);
+        }
+    }
+
+    #[test]
+    fn resource_guard_knobs_round_trip() {
+        let config = CscConfig::default()
+            .with_memory_budget(64 << 20)
+            .with_overload_policy(OverloadPolicy::Reject, 512, 128)
+            .with_io_retry(RetryPolicy::new(
+                6,
+                Duration::from_micros(750),
+                Duration::from_millis(20),
+            ));
+        let idx = CscIndex::build(&figure2(), config).unwrap();
+        let back = CscIndex::from_bytes(&idx.to_bytes().unwrap()).unwrap();
+        assert_eq!(back.config(), idx.config());
+        assert_eq!(back.config().memory_budget, 64 << 20);
+        assert_eq!(back.config().overload.policy, OverloadPolicy::Reject);
+        assert_eq!(back.config().durability.io_retry.max_attempts, 6);
     }
 
     #[test]

@@ -220,6 +220,12 @@ impl SnapshotIndex {
             rejuvenations: self.baseline.rejuvenations,
             replay_queued: 0,
             rebuilding: false,
+            writes_rejected: 0,
+            writes_shed: 0,
+            memory_bytes: 0,
+            saturated: false,
+            durability_degraded: false,
+            wal_truncated_bytes: 0,
         }
     }
 }

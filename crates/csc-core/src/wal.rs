@@ -165,12 +165,13 @@ impl WriteAheadLog {
     /// Creates (truncating any previous log at `path`) a fresh log whose
     /// records will follow checkpoint `base_seq`.
     pub fn create(path: &Path, base_seq: u64, fsync: FsyncPolicy) -> Result<Self, CscError> {
+        faultpoint_io!("io.wal.create");
         let mut file = OpenOptions::new()
             .write(true)
             .create(true)
             .truncate(true)
             .open(path)
-            .map_err(|e| wal_corrupt(format!("cannot create {}: {e}", path.display())))?;
+            .map_err(|e| CscError::io("wal.create", &e))?;
         let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
         header.extend_from_slice(WAL_MAGIC);
         header.extend_from_slice(&base_seq.to_le_bytes());
@@ -178,7 +179,7 @@ impl WriteAheadLog {
         header.extend_from_slice(&crc.to_le_bytes());
         file.write_all(&header)
             .and_then(|()| file.sync_all())
-            .map_err(|e| wal_corrupt(format!("cannot write header: {e}")))?;
+            .map_err(|e| CscError::io("wal.create", &e))?;
         Ok(WriteAheadLog {
             file,
             path: path.to_path_buf(),
@@ -233,6 +234,7 @@ impl WriteAheadLog {
     /// the file. Returns the base sequence, the records, and what a
     /// repair pass *would* truncate.
     pub fn read_all(path: &Path) -> Result<(u64, Vec<WalRecord>, WalOpenReport), CscError> {
+        faultpoint_io!("io.wal.read");
         let bytes = fs::read(path)
             .map_err(|e| wal_corrupt(format!("cannot read {}: {e}", path.display())))?;
         let base_seq = Self::check_header(&bytes)?;
@@ -281,6 +283,7 @@ impl WriteAheadLog {
     pub fn append(&mut self, seq: u64, window: &[GraphUpdate]) -> Result<(), CscError> {
         debug_assert!(seq > self.last_seq, "WAL sequence must be monotone");
         faultpoint!("wal.append.pre");
+        faultpoint_io!("io.wal.append");
         let mut payload = Vec::with_capacity(12 + window.len() * 9);
         payload.extend_from_slice(&seq.to_le_bytes());
         payload.extend_from_slice(&(window.len() as u32).to_le_bytes());
@@ -293,11 +296,12 @@ impl WriteAheadLog {
         // Two writes with a faultpoint between them: an injected crash
         // here leaves exactly the torn tail a real mid-append crash
         // would, which the recovery tests rely on.
-        let write_err = |e: std::io::Error| wal_corrupt(format!("append failed: {e}"));
+        let write_err = |e: std::io::Error| CscError::io("wal.append", &e);
         self.file.write_all(&prefix).map_err(write_err)?;
         let split = payload.len() / 2;
         self.file.write_all(&payload[..split]).map_err(write_err)?;
         faultpoint!("wal.append.torn");
+        faultpoint_io!("io.wal.append.torn");
         self.file.write_all(&payload[split..]).map_err(write_err)?;
         self.last_seq = seq;
         self.appends_since_sync += 1;
@@ -313,11 +317,48 @@ impl WriteAheadLog {
         Ok(())
     }
 
+    /// Appends like [`append`](Self::append), retrying transient I/O
+    /// failures under `retry` (salted by `seq` for deterministic jitter).
+    ///
+    /// A failed append may have written part of the record; retrying
+    /// naively would splice that garbage into the log and stop every
+    /// future scan at it. So before each retry — and before giving up —
+    /// the tail is rolled back (`set_len` + seek) to its pre-append
+    /// position and the in-memory sequence state restored. If the
+    /// rollback itself fails the log can no longer be trusted and the
+    /// error comes back as [`CscError::Corrupt`] (never retried).
+    pub fn append_retrying(
+        &mut self,
+        seq: u64,
+        window: &[GraphUpdate],
+        retry: &crate::guard::RetryPolicy,
+    ) -> Result<(), CscError> {
+        let start = self
+            .file
+            .stream_position()
+            .map_err(|e| CscError::io("wal.append", &e))?;
+        let prior = (self.last_seq, self.appends_since_sync);
+        retry.run(seq, |_| match self.append(seq, window) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                (self.last_seq, self.appends_since_sync) = prior;
+                self.file
+                    .set_len(start)
+                    .and_then(|()| self.file.seek(SeekFrom::Start(start)).map(|_| ()))
+                    .map_err(|re| {
+                        wal_corrupt(format!("cannot roll back torn append: {re} (after {e})"))
+                    })?;
+                Err(e)
+            }
+        })
+    }
+
     /// Forces the log's bytes to stable storage now.
     pub fn sync(&mut self) -> Result<(), CscError> {
+        faultpoint_io!("io.wal.fsync");
         self.file
             .sync_data()
-            .map_err(|e| wal_corrupt(format!("fsync failed: {e}")))?;
+            .map_err(|e| CscError::io("wal.fsync", &e))?;
         self.appends_since_sync = 0;
         Ok(())
     }
@@ -350,28 +391,28 @@ pub fn checkpoint_path(dir: &Path, seq: u64) -> PathBuf {
 /// checkpoint under the real name), finishing with a directory fsync so
 /// the rename itself is durable.
 pub fn write_checkpoint(dir: &Path, seq: u64, bytes: &[u8]) -> Result<PathBuf, CscError> {
+    faultpoint_io!("io.checkpoint.write");
     let final_path = checkpoint_path(dir, seq);
     let tmp_path = final_path.with_extension("tmp");
-    let io_err = |what: &'static str| {
-        let tmp = tmp_path.display().to_string();
-        move |e: std::io::Error| CscError::corrupt("checkpoint", format!("{what} {tmp}: {e}"))
-    };
-    let mut tmp = File::create(&tmp_path).map_err(io_err("cannot create"))?;
+    let io_err = |e: std::io::Error| CscError::io("checkpoint.write", &e);
+    let mut tmp = File::create(&tmp_path).map_err(io_err)?;
     let split = bytes.len() / 2;
-    tmp.write_all(&bytes[..split])
-        .map_err(io_err("cannot write"))?;
+    tmp.write_all(&bytes[..split]).map_err(io_err)?;
     faultpoint!("checkpoint.torn");
-    tmp.write_all(&bytes[split..])
-        .map_err(io_err("cannot write"))?;
-    tmp.sync_all().map_err(io_err("cannot sync"))?;
+    tmp.write_all(&bytes[split..]).map_err(io_err)?;
+    tmp.sync_all().map_err(io_err)?;
     drop(tmp);
     faultpoint!("checkpoint.pre-rename");
-    fs::rename(&tmp_path, &final_path)
-        .map_err(|e| CscError::corrupt("checkpoint", format!("cannot rename into place: {e}")))?;
-    // Make the rename durable (directory metadata).
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
-    }
+    faultpoint_io!("io.checkpoint.rename");
+    fs::rename(&tmp_path, &final_path).map_err(|e| CscError::io("checkpoint.rename", &e))?;
+    // Make the rename durable: without the directory fsync the new name
+    // may not survive a power cut even though the data blocks would. A
+    // failure here is a real durability failure and must be loud — the
+    // caller retries or degrades, never assumes the checkpoint stuck.
+    faultpoint_io!("io.checkpoint.dirsync");
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| CscError::io("checkpoint.dirsync", &e))?;
     faultpoint!("checkpoint.post");
     Ok(final_path)
 }
@@ -422,7 +463,11 @@ pub fn prune_checkpoints(dir: &Path, keep: usize) {
 }
 
 /// Reads a file fully (checkpoint loading helper with a uniform error).
+/// Real read failures come back as [`CscError::Corrupt`] — the recovery
+/// loader's fall-back-a-generation signal — while the `io.checkpoint.read`
+/// faultpoint injects [`CscError::Io`] to exercise the retry path.
 pub fn read_file(path: &Path) -> Result<Vec<u8>, CscError> {
+    faultpoint_io!("io.checkpoint.read");
     let mut bytes = Vec::new();
     File::open(path)
         .and_then(|mut f| f.read_to_end(&mut bytes))
@@ -626,6 +671,49 @@ mod tests {
             !dir.join("checkpoint-00000000000000000011.tmp").exists(),
             "stale tmp swept"
         );
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    #[cfg(feature = "fault-injection")]
+    fn append_retrying_rolls_back_partial_bytes() {
+        use crate::fault;
+        use crate::guard::RetryPolicy;
+        let _guard = fault::test_lock();
+        fault::reset();
+        let dir = temp_dir("retry");
+        let path = dir.join(WAL_FILE);
+        let mut wal = WriteAheadLog::create(&path, 0, FsyncPolicy::Always).unwrap();
+        wal.append(1, &sample_window(0)).unwrap();
+        let retry = RetryPolicy::new(3, std::time::Duration::ZERO, std::time::Duration::ZERO);
+
+        // A mid-write failure leaves partial bytes behind; the retry must
+        // roll them back before rewriting, or the spliced garbage would
+        // stop every future scan at it.
+        fault::arm_io("io.wal.append.torn", 1, std::io::ErrorKind::Interrupted, 1);
+        wal.append_retrying(2, &sample_window(1), &retry).unwrap();
+        let (_, records, report) = WriteAheadLog::read_all(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(report.truncated_bytes, 0, "no spliced garbage");
+
+        // Persistent failure: no retry, tail rolled back to the clean
+        // position, and the log still accepts the next append.
+        let clean_len = fs::metadata(&path).unwrap().len();
+        fault::arm_io("io.wal.append", 1, std::io::ErrorKind::StorageFull, 9);
+        let err = wal
+            .append_retrying(3, &sample_window(2), &retry)
+            .unwrap_err();
+        assert!(!err.is_transient_io(), "{err}");
+        fault::reset();
+        assert_eq!(fs::metadata(&path).unwrap().len(), clean_len);
+        assert_eq!(
+            wal.last_seq(),
+            2,
+            "failed append leaves the sequence untouched"
+        );
+        wal.append_retrying(3, &sample_window(2), &retry).unwrap();
+        let (_, records, _) = WriteAheadLog::read_all(&path).unwrap();
+        assert_eq!(records.len(), 3);
         fs::remove_dir_all(dir).unwrap();
     }
 

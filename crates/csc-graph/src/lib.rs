@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod bipartite;
+pub mod budget;
 pub mod csr;
 pub mod digraph;
 pub mod enumerate;
@@ -40,6 +41,7 @@ pub mod traversal;
 pub mod vertex;
 
 pub use bipartite::BipartiteGraph;
+pub use budget::{BudgetExceeded, OpBudget};
 pub use csr::Csr;
 pub use digraph::DiGraph;
 pub use error::GraphError;

@@ -102,6 +102,15 @@ impl SearchState {
     pub fn touched(&self) -> &[u32] {
         &self.touched
     }
+
+    /// Heap bytes held by the arrays and queue (capacity, not length —
+    /// this is what the memory-budget accounting charges).
+    pub fn heap_bytes(&self) -> usize {
+        self.dist.capacity() * std::mem::size_of::<u32>()
+            + self.count.capacity() * std::mem::size_of::<u64>()
+            + self.queue.capacity() * std::mem::size_of::<u32>()
+            + self.touched.capacity() * std::mem::size_of::<u32>()
+    }
 }
 
 /// Epoch-stamped scatter array: holds the current hub's own label (hub rank
@@ -160,6 +169,13 @@ impl HubCache {
     pub fn get(&self, hub_rank: u32) -> Option<(u32, u64)> {
         let i = hub_rank as usize;
         (self.epoch[i] == self.current).then(|| (self.dist[i], self.count[i]))
+    }
+
+    /// Heap bytes held by the scatter arrays (capacity, not length).
+    pub fn heap_bytes(&self) -> usize {
+        self.dist.capacity() * std::mem::size_of::<u32>()
+            + self.count.capacity() * std::mem::size_of::<u64>()
+            + self.epoch.capacity() * std::mem::size_of::<u32>()
     }
 }
 

@@ -470,6 +470,24 @@ pub trait ParallelIterator: Sized {
         op: F,
     ) -> FilterMap<Self, F>;
 
+    /// Applies `op` to each item with a mutable per-worker state created
+    /// by `init` — real rayon initializes once per split, this shim once
+    /// per contiguous chunk (one per worker), which preserves the
+    /// property callers rely on: state is never shared across threads.
+    fn map_init<T, V, I, G>(self, init: I, op: G) -> MapInit<Self, I, G>
+    where
+        T: Send,
+        V: Send,
+        I: Fn() -> T + Sync,
+        G: Fn(&mut T, Self::Item) -> V + Sync,
+    {
+        MapInit {
+            inner: self,
+            init,
+            op,
+        }
+    }
+
     /// Drives the iterator, materializing all items in order.
     fn drive(self) -> Vec<Self::Item>;
 
@@ -509,6 +527,52 @@ pub struct Map<I, F> {
 pub struct FilterMap<I, F> {
     inner: I,
     op: F,
+}
+
+/// A `map_init` adapter: per-worker mutable state threaded through `op`.
+pub struct MapInit<It, I, G> {
+    inner: It,
+    init: I,
+    op: G,
+}
+
+impl<S, F, U, T, V, I, G> ParallelIterator for MapInit<ParIter<S, F>, I, G>
+where
+    S: ParallelSource,
+    F: Fn(S::Item) -> U + Sync,
+    U: Send,
+    T: Send,
+    V: Send,
+    I: Fn() -> T + Sync,
+    G: Fn(&mut T, U) -> V + Sync,
+{
+    type Item = V;
+
+    fn map<W: Send, H: Fn(V) -> W + Sync>(self, op: H) -> Map<Self, H> {
+        Map { inner: self, op }
+    }
+
+    fn filter_map<W: Send, H: Fn(V) -> Option<W> + Sync>(self, op: H) -> FilterMap<Self, H> {
+        FilterMap { inner: self, op }
+    }
+
+    fn drive(self) -> Vec<V> {
+        let len = self.inner.source.len();
+        let threads = worker_count(len);
+        let source = &self.inner.source;
+        let transform = &self.inner.transform;
+        let init = &self.init;
+        let op = &self.op;
+        run_chunked(len, threads, |range| {
+            let mut state = init();
+            range
+                .map(|i| op(&mut state, transform(source.get(i))))
+                .collect()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
 }
 
 impl<S, F, U> ParallelIterator for ParIter<S, F>
@@ -639,6 +703,33 @@ mod tests {
             .collect();
         assert_eq!(evens.len(), 1_000);
         assert!(evens.windows(2).all(|w| w[0] < w[1]), "order preserved");
+    }
+
+    #[test]
+    fn map_init_threads_per_worker_state_in_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        // Each worker chunk gets its own counter; items stay in order and
+        // every item sees a state (the counter strictly increases within
+        // a chunk, so the per-item value is chunk-local, never shared).
+        let out: Vec<(u64, u64)> = xs
+            .par_iter()
+            .map_init(
+                || 0u64,
+                |local, &x| {
+                    *local += 1;
+                    (x, *local)
+                },
+            )
+            .collect();
+        assert_eq!(out.len(), xs.len());
+        assert!(out.iter().enumerate().all(|(i, &(x, _))| x == i as u64));
+        // Fresh state per chunk: the local counter never exceeds the
+        // total length and restarts at 1 on each chunk boundary.
+        assert!(out.iter().all(|&(_, c)| c >= 1 && c <= xs.len() as u64));
+        assert_eq!(out[0].1, 1);
+        // Result collection works through map_init like rayon's.
+        let ok: Result<Vec<u64>, ()> = xs.par_iter().map_init(|| (), |(), &x| Ok(x)).collect();
+        assert_eq!(ok.unwrap().len(), xs.len());
     }
 
     #[test]

@@ -49,10 +49,11 @@ pub use csc_labeling as labeling;
 /// The common imports for working with the library.
 pub mod prelude {
     pub use csc_core::{
-        BatchReport, ConcurrentIndex, CscConfig, CscError, CscIndex, CycleCount, FsyncPolicy,
-        GraphUpdate, IndexHealth, MaintenanceEngine, MaintenanceStatus, ParallelismConfig,
-        RebuildPolicy, RebuildReason, RecoveryReport, RejuvenationReport, SnapshotIndex,
-        SnapshotStats, UpdateReport, UpdateStrategy,
+        BatchReport, ConcurrentIndex, CscConfig, CscError, CscIndex, CycleCount, Deadline,
+        FsyncPolicy, GraphUpdate, IndexHealth, MaintenanceEngine, MaintenanceStatus,
+        OverloadConfig, OverloadPolicy, ParallelismConfig, RebuildPolicy, RebuildReason,
+        RecoveryReport, RejuvenationReport, RetryPolicy, SnapshotIndex, SnapshotStats,
+        UpdateReport, UpdateStrategy,
     };
     pub use csc_graph::{DiGraph, GraphError, OrderingStrategy, VertexId};
     pub use csc_labeling::{scc_count_bfs, BfsCycleEngine, FrozenLabels, HpSpcIndex, LabelStore};
